@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one artifact of the paper (Table 1,
+Table 2, or a complexity claim) — see DESIGN.md's per-experiment index and
+EXPERIMENTS.md for the mapping and for the paper-vs-measured record.
+
+Besides the timing numbers collected by pytest-benchmark, every benchmark
+appends one or more human-readable result rows to a session-wide report; the
+report is printed at the end of the run and written to
+``benchmarks/reproduction_summary.txt`` so it can be diffed against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_SUMMARY_PATH = Path(__file__).resolve().parent / "reproduction_summary.txt"
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_artifact(name): maps a benchmark to a paper artifact")
+
+
+@pytest.fixture(scope="session")
+def report_lines():
+    """Collector for human-readable result rows written at the end of the run."""
+    lines: list[str] = []
+    yield lines
+    if not lines:
+        return
+    header = [
+        "=" * 78,
+        "Reproduction summary (paper artifact -> measured)",
+        "=" * 78,
+    ]
+    body = header + lines
+    _SUMMARY_PATH.write_text("\n".join(body) + "\n")
+    print()
+    for line in body:
+        print(line)
+    print(f"(written to {_SUMMARY_PATH})")

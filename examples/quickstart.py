@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: parse aggregate queries, evaluate them, and decide equivalence.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Domain, are_equivalent, evaluate, parse_database, parse_query
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Write queries in the paper's Datalog-style syntax.
+    # ------------------------------------------------------------------
+    q1 = parse_query("q(dept, sum(salary)) :- emp(dept, salary), not frozen(dept), salary > 0")
+    q2 = parse_query("q(dept, sum(s)) :- emp(dept, s), 0 < s, not frozen(dept)")
+    q3 = parse_query("q(dept, sum(salary)) :- emp(dept, salary), salary > 0")
+
+    print("q1:", q1)
+    print("q2:", q2)
+    print("q3:", q3)
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Evaluate over a concrete database.
+    # ------------------------------------------------------------------
+    database = parse_database(
+        "emp(1, 1000). emp(1, 1500). emp(2, 900). emp(2, -50). frozen(2)."
+    )
+    print("database:", database)
+    print("q1 over D:", evaluate(q1, database))
+    print("q3 over D:", evaluate(q3, database))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Decide equivalence.  q1 and q2 only differ by variable names and the
+    #    direction in which a comparison is written; q3 drops a negated
+    #    subgoal and is therefore not equivalent.
+    # ------------------------------------------------------------------
+    result_equivalent = are_equivalent(q1, q2)
+    print(f"q1 ≡ q2?  {result_equivalent.verdict.value}  (method: {result_equivalent.method})")
+
+    result_different = are_equivalent(q1, q3)
+    print(f"q1 ≡ q3?  {result_different.verdict.value}  (method: {result_different.method})")
+    if result_different.counterexample is not None and result_different.counterexample.database:
+        print("  witness database:", result_different.counterexample.database)
+
+    # ------------------------------------------------------------------
+    # 4. Comparisons are domain sensitive: over the integers 0 < x < 2 pins
+    #    x to 1, over the rationals it does not.
+    # ------------------------------------------------------------------
+    narrow = parse_query("q(x, count()) :- p(x), x > 0, x < 2")
+    pinned = parse_query("q(x, count()) :- p(x), x = 1")
+    over_z = are_equivalent(narrow, pinned, domain=Domain.INTEGERS)
+    over_q = are_equivalent(narrow, pinned, domain=Domain.RATIONALS)
+    print()
+    print(f"0 < x < 2 vs x = 1: over Z -> {over_z.verdict.value}, over Q -> {over_q.verdict.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,263 @@
+"""Abelian monoids underlying the monoidal aggregation functions.
+
+Section 2 of the paper defines aggregation functions of the form
+``α_f^+(B) = Σ_{a∈B} f(a)`` where the sum is taken in an abelian monoid
+``(M, +, 0)``.  Two subclasses matter for the decidability results:
+
+* **idempotent** monoids (``a + a = a``), e.g. the max monoid on Q⊥ and the
+  top-2 monoid T2, and
+* **groups** (every element has an inverse), e.g. (Z, +, 0), (Q, +, 0),
+  (Z2, +, 0) and (Q±, ·, 1).
+
+Each monoid here exposes the operation, the neutral element, the structural
+flags and (for groups) inverses, together with small law-checking helpers used
+by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from ..domains import NumericValue
+from ..errors import DomainError
+
+
+class AbelianMonoid(ABC):
+    """An abelian monoid ``(M, +, 0)``."""
+
+    #: Human-readable name of the monoid.
+    name: str = "monoid"
+    #: Whether ``a + a = a`` for every element.
+    is_idempotent: bool = False
+    #: Whether every element has an inverse.
+    is_group: bool = False
+
+    @abstractmethod
+    def operation(self, left, right):
+        """The binary operation of the monoid."""
+
+    @abstractmethod
+    def neutral(self):
+        """The neutral element of the monoid."""
+
+    def inverse(self, element):
+        """The inverse of ``element`` (only defined for groups)."""
+        raise DomainError(f"{self.name} is not a group; inverses are undefined")
+
+    def contains(self, element) -> bool:
+        """Whether ``element`` belongs to the monoid's carrier set."""
+        return True
+
+    def combine(self, elements: Iterable):
+        """Fold the operation over a (multi)set of elements."""
+        result = self.neutral()
+        for element in elements:
+            result = self.operation(result, element)
+        return result
+
+    def subtract(self, left, right):
+        """``left + (-right)`` for group monoids."""
+        return self.operation(left, self.inverse(right))
+
+    # ------------------------------------------------------------------
+    # Law checking (used by tests)
+    # ------------------------------------------------------------------
+    def check_laws(self, samples: Sequence) -> Optional[str]:
+        """Return a description of the first violated monoid law, if any."""
+        neutral = self.neutral()
+        for a in samples:
+            if self.operation(a, neutral) != a or self.operation(neutral, a) != a:
+                return f"neutral element law fails for {a!r}"
+        for a in samples:
+            for b in samples:
+                if self.operation(a, b) != self.operation(b, a):
+                    return f"commutativity fails for {a!r}, {b!r}"
+        for a in samples:
+            for b in samples:
+                for c in samples:
+                    left = self.operation(self.operation(a, b), c)
+                    right = self.operation(a, self.operation(b, c))
+                    if left != right:
+                        return f"associativity fails for {a!r}, {b!r}, {c!r}"
+        if self.is_idempotent:
+            for a in samples:
+                if self.operation(a, a) != a:
+                    return f"idempotency fails for {a!r}"
+        if self.is_group:
+            for a in samples:
+                if self.operation(a, self.inverse(a)) != neutral:
+                    return f"inverse law fails for {a!r}"
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class IntegerAdditionMonoid(AbelianMonoid):
+    """(Z, +, 0) — the group underlying ``count`` and ``sum`` over Z."""
+
+    name = "(Z, +, 0)"
+    is_group = True
+
+    def operation(self, left, right):
+        return left + right
+
+    def neutral(self):
+        return 0
+
+    def inverse(self, element):
+        return -element
+
+    def contains(self, element) -> bool:
+        return isinstance(element, int) and not isinstance(element, bool)
+
+
+class RationalAdditionMonoid(AbelianMonoid):
+    """(Q, +, 0) — the group underlying ``sum`` over Q."""
+
+    name = "(Q, +, 0)"
+    is_group = True
+
+    def operation(self, left, right):
+        return _normalize(Fraction(left) + Fraction(right))
+
+    def neutral(self):
+        return 0
+
+    def inverse(self, element):
+        return _normalize(-Fraction(element))
+
+    def contains(self, element) -> bool:
+        return isinstance(element, (int, Fraction)) and not isinstance(element, bool)
+
+
+class ParityMonoid(AbelianMonoid):
+    """Z2 = {0, 1} with 1 + 1 = 0 — the group underlying ``parity``."""
+
+    name = "(Z2, +, 0)"
+    is_group = True
+
+    def operation(self, left, right):
+        return (left + right) % 2
+
+    def neutral(self):
+        return 0
+
+    def inverse(self, element):
+        return element % 2
+
+    def contains(self, element) -> bool:
+        return element in (0, 1)
+
+
+class NonzeroRationalMultiplicationMonoid(AbelianMonoid):
+    """(Q±, ·, 1) — the group underlying ``prod`` over the nonzero rationals."""
+
+    name = "(Q±, ·, 1)"
+    is_group = True
+
+    def operation(self, left, right):
+        return _normalize(Fraction(left) * Fraction(right))
+
+    def neutral(self):
+        return 1
+
+    def inverse(self, element):
+        if element == 0:
+            raise DomainError("0 has no multiplicative inverse in Q±")
+        return _normalize(1 / Fraction(element))
+
+    def contains(self, element) -> bool:
+        if isinstance(element, bool):
+            return False
+        return isinstance(element, (int, Fraction)) and element != 0
+
+
+class MaxMonoid(AbelianMonoid):
+    """Q⊥ with the binary maximum — the idempotent monoid underlying ``max``.
+
+    The neutral element ⊥ ("less than every number") is represented by
+    ``None``.
+    """
+
+    name = "(Q⊥, max, ⊥)"
+    is_idempotent = True
+
+    def operation(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if Fraction(left) >= Fraction(right) else right
+
+    def neutral(self):
+        return None
+
+
+class MinMonoid(AbelianMonoid):
+    """The dual of :class:`MaxMonoid`, underlying ``min``."""
+
+    name = "(Q⊤, min, ⊤)"
+    is_idempotent = True
+
+    def operation(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if Fraction(left) <= Fraction(right) else right
+
+    def neutral(self):
+        return None
+
+
+class TopKMonoid(AbelianMonoid):
+    """The monoid T_K of the K greatest *distinct* elements (Example 2.1).
+
+    Elements are tuples of distinct values in strictly decreasing order, of
+    length at most K; the neutral element is the empty tuple (the paper's
+    ``(⊥, …, ⊥)``).  The operation merges two tuples and keeps the K greatest
+    distinct values.
+    """
+
+    is_idempotent = True
+
+    def __init__(self, k: int, largest: bool = True):
+        if k < 1:
+            raise DomainError("TopKMonoid requires k >= 1")
+        self.k = k
+        self.largest = largest
+        direction = "top" if largest else "bot"
+        self.name = f"(T{k}, ⊕, ∅) [{direction}]"
+
+    def operation(self, left, right):
+        merged = set(left) | set(right)
+        ordered = sorted(merged, key=Fraction, reverse=self.largest)
+        return tuple(ordered[: self.k])
+
+    def neutral(self):
+        return ()
+
+    def contains(self, element) -> bool:
+        if not isinstance(element, tuple) or len(element) > self.k:
+            return False
+        keys = [Fraction(value) for value in element]
+        expected = sorted(keys, reverse=self.largest)
+        return keys == expected and len(set(keys)) == len(keys)
+
+
+def _normalize(value: Fraction) -> NumericValue:
+    return int(value) if value.denominator == 1 else value
+
+
+#: Shared singleton instances (the monoids are stateless).
+INTEGER_ADDITION = IntegerAdditionMonoid()
+RATIONAL_ADDITION = RationalAdditionMonoid()
+PARITY_MONOID = ParityMonoid()
+NONZERO_MULTIPLICATION = NonzeroRationalMultiplicationMonoid()
+MAX_MONOID = MaxMonoid()
+MIN_MONOID = MinMonoid()
+TOP2_MONOID = TopKMonoid(2, largest=True)
+BOT2_MONOID = TopKMonoid(2, largest=False)

@@ -1,0 +1,123 @@
+"""Decision procedures: the paper's primary contribution.
+
+* bounded and local equivalence (Section 4, Theorem 4.8),
+* database decompositions and the reduction of equivalence to local
+  equivalence (Sections 5 and 6),
+* quasilinear equivalence via isomorphism (Section 7),
+* the bag-set / set semantics corollaries (Section 8),
+* the top-level dispatcher :func:`are_equivalent` and the Table 2 generator.
+"""
+
+from .bagset import as_count_query, bag_set_equivalent, set_equivalent
+from .bounded import (
+    BAG_SET_SEMANTICS,
+    SET_SEMANTICS,
+    Counterexample,
+    EquivalenceReport,
+    bounded_equivalence,
+    build_base,
+    local_equivalence,
+)
+from .counterexample import (
+    enumerate_databases,
+    exhaustive_counterexample,
+    find_counterexample,
+    random_database,
+    value_pool,
+)
+from .decomposition import (
+    DecompositionCheck,
+    decomposition,
+    decomposition_principle_holds,
+    direct_aggregate,
+    extend_database,
+    recombine_group,
+    recombine_idempotent,
+    verify_decomposition,
+)
+from .equivalence import (
+    PAPER_TABLE2,
+    DecidabilityRow,
+    EquivalenceResult,
+    Verdict,
+    are_equivalent,
+    build_table2,
+    decide_or_raise,
+    format_table2,
+    table2_matches_paper,
+)
+from .isomorphism import (
+    are_isomorphic,
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    homomorphisms,
+    isomorphisms,
+)
+from .quasilinear import (
+    QuasilinearVerdict,
+    is_quasilinear_decidable,
+    linear_equivalent,
+    quasilinear_equivalent,
+)
+from .reduction import (
+    condition_satisfiable,
+    entailed_substitution,
+    is_reduced,
+    query_satisfiable,
+    reduce_condition,
+    reduce_query,
+    satisfiable_disjuncts,
+)
+
+__all__ = [
+    "BAG_SET_SEMANTICS",
+    "Counterexample",
+    "DecidabilityRow",
+    "DecompositionCheck",
+    "EquivalenceReport",
+    "EquivalenceResult",
+    "PAPER_TABLE2",
+    "QuasilinearVerdict",
+    "SET_SEMANTICS",
+    "Verdict",
+    "are_equivalent",
+    "are_isomorphic",
+    "as_count_query",
+    "bag_set_equivalent",
+    "bounded_equivalence",
+    "build_base",
+    "build_table2",
+    "condition_satisfiable",
+    "decide_or_raise",
+    "decomposition",
+    "decomposition_principle_holds",
+    "direct_aggregate",
+    "entailed_substitution",
+    "enumerate_databases",
+    "exhaustive_counterexample",
+    "extend_database",
+    "find_counterexample",
+    "find_homomorphism",
+    "find_isomorphism",
+    "format_table2",
+    "has_homomorphism",
+    "homomorphisms",
+    "is_quasilinear_decidable",
+    "is_reduced",
+    "isomorphisms",
+    "linear_equivalent",
+    "local_equivalence",
+    "quasilinear_equivalent",
+    "query_satisfiable",
+    "random_database",
+    "recombine_group",
+    "recombine_idempotent",
+    "reduce_condition",
+    "reduce_query",
+    "satisfiable_disjuncts",
+    "set_equivalent",
+    "table2_matches_paper",
+    "value_pool",
+    "verify_decomposition",
+]

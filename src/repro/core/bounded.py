@@ -1,0 +1,373 @@
+"""Bounded and local equivalence (Section 4 of the paper).
+
+Two queries are *N-equivalent* when they return identical results over every
+database whose carrier has at most N constants; they are *locally equivalent*
+when they are τ(q, q')-equivalent, where τ is the term size of the pair
+(Section 4).  Theorem 4.8 shows that bounded equivalence of α-queries is
+decidable exactly when α is order-decidable, and its proof is a procedure:
+
+1. Let ``T`` be the constants of both queries plus ``N`` fresh variables, and
+   ``BASE`` the set of all atoms over ``T`` built from the queries' predicates.
+2. For every subset ``S ⊆ BASE`` and every complete ordering ``L`` of ``T``,
+   evaluate both queries symbolically over ``S_L``.
+3. The queries agree on all instantiations of ``S`` by assignments satisfying
+   ``L`` iff they produce the same group keys and, for every group, the
+   ordered identity ``L → α(B) = α(B')`` is valid.
+
+This module implements that procedure (with an optional symmetry reduction
+over the interchangeable fresh variables), plus the bounded-equivalence
+variants for non-aggregate queries under set and bag-set semantics that the
+other decision procedures build on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..aggregates.functions import AggregationFunction, get_function
+from ..aggregates.properties import random_realization
+from ..datalog.atoms import RelationalAtom
+from ..datalog.database import Database
+from ..datalog.queries import Query, combined_predicate_arities, term_size_of_pair
+from ..datalog.terms import Constant, Term, Variable
+from ..domains import Domain
+from ..engine.evaluator import evaluate_aggregate, evaluate_bag_set, evaluate_set
+from ..engine.symbolic import SymbolicDatabase, symbolic_answer_multiset, symbolic_groups
+from ..errors import ReproError, UnsupportedAggregateError
+from ..orderings.complete_orderings import CompleteOrdering, enumerate_complete_orderings
+
+#: Semantics under which non-aggregate queries are compared.
+SET_SEMANTICS = "set"
+BAG_SET_SEMANTICS = "bag-set"
+
+
+@dataclass
+class Counterexample:
+    """A witness of non-equivalence.
+
+    ``database`` is a concrete database on which the two queries differ when
+    one could be constructed; the symbolic context (subset and ordering) is
+    always recorded so the situation can be reproduced.
+    """
+
+    database: Optional[Database]
+    left_result: object
+    right_result: object
+    ordering: Optional[CompleteOrdering] = None
+    symbolic_atoms: Optional[frozenset] = None
+
+    def __str__(self) -> str:
+        parts = [f"left={self.left_result!r}", f"right={self.right_result!r}"]
+        if self.database is not None:
+            parts.insert(0, f"D={self.database}")
+        if self.ordering is not None:
+            parts.append(f"L=({self.ordering})")
+        return "counterexample: " + ", ".join(parts)
+
+
+@dataclass
+class EquivalenceReport:
+    """The outcome of a bounded/local equivalence check with statistics."""
+
+    equivalent: bool
+    bound: int
+    domain: Domain
+    counterexample: Optional[Counterexample] = None
+    subsets_examined: int = 0
+    orderings_examined: int = 0
+    identities_checked: int = 0
+    subsets_skipped_by_symmetry: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def build_base(
+    first: Query, second: Query, fresh_variable_count: int
+) -> tuple[list[Term], list[RelationalAtom], list[Variable]]:
+    """The term set ``T`` and atom universe ``BASE`` of Theorem 4.8."""
+    constants = sorted(first.constants() | second.constants(), key=lambda c: (str(c)))
+    taken_names = {variable.name for variable in first.variables() | second.variables()}
+    fresh: list[Variable] = []
+    index = 0
+    while len(fresh) < fresh_variable_count:
+        candidate = Variable(f"_u{index}")
+        index += 1
+        if candidate.name in taken_names:
+            continue
+        fresh.append(candidate)
+    terms: list[Term] = list(constants) + list(fresh)
+    arities = combined_predicate_arities(first, second)
+    base: list[RelationalAtom] = []
+    for predicate in sorted(arities):
+        arity = arities[predicate]
+        for arguments in itertools.product(terms, repeat=arity):
+            base.append(RelationalAtom(predicate, arguments))
+    return terms, base, fresh
+
+
+def _canonical_subset(
+    subset: frozenset[RelationalAtom], fresh: Sequence[Variable]
+) -> frozenset[RelationalAtom]:
+    """The canonical representative of a subset of BASE under permutations of
+    the interchangeable fresh variables (symmetry reduction)."""
+    best: Optional[tuple] = None
+    best_subset = subset
+    for permutation in itertools.permutations(fresh):
+        mapping = dict(zip(fresh, permutation))
+        renamed = frozenset(atom.substitute(mapping) for atom in subset)
+        signature = tuple(sorted(str(atom) for atom in renamed))
+        if best is None or signature < best:
+            best = signature
+            best_subset = renamed
+    return best_subset
+
+
+def _iterate_subsets(
+    base: Sequence[RelationalAtom],
+    fresh: Sequence[Variable],
+    symmetry_reduction: bool,
+) -> Iterator[tuple[frozenset[RelationalAtom], bool]]:
+    """Yield (subset, skipped) pairs; skipped subsets are symmetry duplicates."""
+    for size in range(len(base) + 1):
+        for combination in itertools.combinations(base, size):
+            subset = frozenset(combination)
+            if symmetry_reduction and len(fresh) > 1:
+                canonical = _canonical_subset(subset, fresh)
+                if canonical != subset:
+                    # Only the canonical representative of each orbit under
+                    # permutations of the fresh variables is processed.
+                    yield subset, True
+                    continue
+            yield subset, False
+
+
+def bounded_equivalence(
+    first: Query,
+    second: Query,
+    bound: int,
+    domain: Domain = Domain.RATIONALS,
+    semantics: str = SET_SEMANTICS,
+    symmetry_reduction: bool = True,
+    max_subsets: int = 2_000_000,
+) -> EquivalenceReport:
+    """Decide whether ``first ≡_N second`` for ``N = bound`` (Theorem 4.8).
+
+    For aggregate queries both must carry the same aggregation function, which
+    must be order-decidable over the domain.  For non-aggregate queries the
+    ``semantics`` parameter selects set or bag-set semantics.
+    """
+    function = _resolve_function(first, second, domain)
+    report = EquivalenceReport(equivalent=True, bound=bound, domain=domain)
+    terms, base, fresh = build_base(first, second, bound)
+    subset_count = 2 ** len(base)
+    if subset_count > max_subsets:
+        raise ReproError(
+            f"the bounded-equivalence search space has {subset_count} subsets of BASE "
+            f"(|BASE| = {len(base)}), exceeding max_subsets={max_subsets}; "
+            "reduce the bound or raise max_subsets explicitly"
+        )
+    orderings = [
+        ordering
+        for ordering in enumerate_complete_orderings(terms, domain)
+        if ordering.is_satisfiable()
+    ]
+    if not orderings:
+        # Degenerate corner: no terms at all (no constants and N = 0).  The
+        # only database to compare over is the empty one.
+        counterexample = _compare_concrete(first, second, Database(()), function, semantics)
+        if counterexample is not None:
+            report.equivalent = False
+            report.counterexample = counterexample
+        return report
+    for subset, skipped in _iterate_subsets(base, fresh, symmetry_reduction):
+        if skipped:
+            report.subsets_skipped_by_symmetry += 1
+            continue
+        report.subsets_examined += 1
+        for ordering in orderings:
+            report.orderings_examined += 1
+            database = SymbolicDatabase(subset, ordering)
+            counterexample = _compare_over(
+                first, second, database, function, semantics, report
+            )
+            if counterexample is not None:
+                report.equivalent = False
+                report.counterexample = counterexample
+                return report
+    return report
+
+
+def local_equivalence(
+    first: Query,
+    second: Query,
+    domain: Domain = Domain.RATIONALS,
+    semantics: str = SET_SEMANTICS,
+    symmetry_reduction: bool = True,
+    max_subsets: int = 2_000_000,
+) -> EquivalenceReport:
+    """Local equivalence: bounded equivalence with N = τ(q, q') (Section 4)."""
+    bound = term_size_of_pair(first, second)
+    return bounded_equivalence(
+        first,
+        second,
+        bound,
+        domain=domain,
+        semantics=semantics,
+        symmetry_reduction=symmetry_reduction,
+        max_subsets=max_subsets,
+    )
+
+
+def _resolve_function(
+    first: Query, second: Query, domain: Domain
+) -> Optional[AggregationFunction]:
+    if first.is_aggregate != second.is_aggregate:
+        raise UnsupportedAggregateError(
+            "cannot compare an aggregate query with a non-aggregate query"
+        )
+    if not first.is_aggregate:
+        return None
+    assert first.aggregate is not None and second.aggregate is not None
+    if first.aggregate.function != second.aggregate.function:
+        raise UnsupportedAggregateError(
+            f"the queries use different aggregation functions: "
+            f"{first.aggregate.function} vs {second.aggregate.function}"
+        )
+    function = get_function(first.aggregate.function)
+    if not function.is_order_decidable_over(domain):
+        raise UnsupportedAggregateError(
+            f"{function.name} is not order-decidable over {domain.value}; "
+            "bounded equivalence is undecidable for this class (Theorem 4.8)"
+        )
+    return function
+
+
+def _compare_over(
+    first: Query,
+    second: Query,
+    database: SymbolicDatabase,
+    function: Optional[AggregationFunction],
+    semantics: str,
+    report: EquivalenceReport,
+) -> Optional[Counterexample]:
+    if function is None:
+        return _compare_non_aggregate(first, second, database, semantics)
+    left_groups = symbolic_groups(first, database)
+    right_groups = symbolic_groups(second, database)
+    if set(left_groups) != set(right_groups):
+        concrete = database.instantiate()
+        return Counterexample(
+            database=concrete,
+            left_result=evaluate_aggregate(first, concrete, function),
+            right_result=evaluate_aggregate(second, concrete, function),
+            ordering=database.ordering,
+            symbolic_atoms=database.atoms,
+        )
+    for key in left_groups:
+        report.identities_checked += 1
+        if not function.decide_ordered_identity(
+            database.ordering, left_groups[key], right_groups[key]
+        ):
+            return _witness_for_identity_failure(first, second, database, function)
+    return None
+
+
+def _compare_concrete(
+    first: Query,
+    second: Query,
+    database: Database,
+    function: Optional[AggregationFunction],
+    semantics: str,
+) -> Optional[Counterexample]:
+    """Direct comparison over a single concrete database (degenerate cases)."""
+    if function is not None:
+        left_result = evaluate_aggregate(first, database, function)
+        right_result = evaluate_aggregate(second, database, function)
+    elif semantics == BAG_SET_SEMANTICS:
+        left_result = evaluate_bag_set(first, database)
+        right_result = evaluate_bag_set(second, database)
+    else:
+        left_result = evaluate_set(first, database)
+        right_result = evaluate_set(second, database)
+    if left_result == right_result:
+        return None
+    return Counterexample(database=database, left_result=left_result, right_result=right_result)
+
+
+def _compare_non_aggregate(
+    first: Query, second: Query, database: SymbolicDatabase, semantics: str
+) -> Optional[Counterexample]:
+    if semantics == SET_SEMANTICS:
+        left = set(symbolic_answer_multiset(first, database))
+        right = set(symbolic_answer_multiset(second, database))
+    elif semantics == BAG_SET_SEMANTICS:
+        left = symbolic_answer_multiset(first, database)
+        right = symbolic_answer_multiset(second, database)
+    else:
+        raise ReproError(f"unknown semantics {semantics!r}")
+    if left == right:
+        return None
+    concrete = database.instantiate()
+    if semantics == SET_SEMANTICS:
+        left_result = evaluate_set(first, concrete)
+        right_result = evaluate_set(second, concrete)
+    else:
+        left_result = evaluate_bag_set(first, concrete)
+        right_result = evaluate_bag_set(second, concrete)
+    return Counterexample(
+        database=concrete,
+        left_result=left_result,
+        right_result=right_result,
+        ordering=database.ordering,
+        symbolic_atoms=database.atoms,
+    )
+
+
+def _witness_for_identity_failure(
+    first: Query,
+    second: Query,
+    database: SymbolicDatabase,
+    function: AggregationFunction,
+    attempts: int = 25,
+) -> Counterexample:
+    """Search for a concrete instantiation on which the two queries visibly
+    disagree.  The canonical instantiation is tried first, followed by random
+    realizations of the ordering; for non-shiftable functions a particular
+    instantiation may coincidentally agree, in which case only the symbolic
+    context is reported."""
+    import random
+
+    candidates = [database.ordering.instantiate()]
+    rng = random.Random(0)
+    for _ in range(attempts):
+        candidates.append(random_realization(database.ordering, rng))
+    for assignment in candidates:
+        facts = []
+        for atom in database.atoms:
+            values = tuple(
+                argument.value if isinstance(argument, Constant) else assignment[argument]
+                for argument in atom.arguments
+            )
+            facts.append((atom.predicate, values))
+        concrete = Database(facts)
+        left_result = evaluate_aggregate(first, concrete, function)
+        right_result = evaluate_aggregate(second, concrete, function)
+        if left_result != right_result:
+            return Counterexample(
+                database=concrete,
+                left_result=left_result,
+                right_result=right_result,
+                ordering=database.ordering,
+                symbolic_atoms=database.atoms,
+            )
+    return Counterexample(
+        database=None,
+        left_result="(symbolic disagreement)",
+        right_result="(symbolic disagreement)",
+        ordering=database.ordering,
+        symbolic_atoms=database.atoms,
+    )

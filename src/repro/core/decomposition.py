@@ -1,0 +1,282 @@
+"""Database decompositions (Sections 5 and 6).
+
+For queries with a decomposable aggregation function, equivalence over an
+arbitrary database reduces to equivalence over *small* databases via a
+decomposition of the database (Theorem 6.5).  This module implements
+
+* the ``Extend Database`` procedure of Figure 1,
+* the construction of the decomposition ∆ of a database with respect to a pair
+  of queries and a group tuple (Equation 11),
+* verification of the three decomposition properties (used in tests and in the
+  decomposition benchmark), and
+* the recombination formulas of the decomposition principles: the idempotent
+  principle (Proposition 5.1) and the inclusion–exclusion principle for group
+  aggregation functions (Proposition 5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..aggregates.functions import AggregationFunction, get_function
+from ..datalog.atoms import GroundAtom
+from ..datalog.database import Database
+from ..datalog.queries import Query, term_size_of_pair
+from ..datalog.terms import Constant
+from ..domains import NumericValue
+from ..engine.evaluator import (
+    LabeledAssignment,
+    group_assignments,
+    satisfying_assignments,
+)
+from ..errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# Figure 1: Extend Database
+# ----------------------------------------------------------------------
+def extend_database(base: Database, first: Query, second: Query, full: Database) -> Database:
+    """The ``Extend Database`` procedure (Figure 1).
+
+    Starting from ``base`` (a subset of ``full``), repeatedly add the
+    instantiations of negated atoms that (a) are satisfied by some assignment
+    of either query over the current database and (b) are facts of ``full``,
+    until a fixed point is reached.  The result is a subset of ``full`` over
+    which neither query has satisfying assignments that would be blocked in
+    ``full`` by a negated subgoal.
+    """
+    current = base
+    while True:
+        additions: set[GroundAtom] = set()
+        for query in (first, second):
+            for assignment in satisfying_assignments(query, current):
+                disjunct = query.disjuncts[assignment.disjunct_index]
+                for atom in disjunct.negated_atoms:
+                    values = assignment.values_of(atom.arguments)
+                    fact = GroundAtom(atom.predicate, values)
+                    if fact in full.facts and fact not in current.facts:
+                        additions.add(fact)
+        if not additions:
+            return current
+        current = current.add_facts(additions)
+
+
+# ----------------------------------------------------------------------
+# Decomposition construction (Equation 11)
+# ----------------------------------------------------------------------
+def assignment_database(query: Query, assignment: LabeledAssignment) -> Database:
+    """D_γ: the instantiations of the positive atoms of the disjunct that the
+    assignment satisfies."""
+    disjunct = query.disjuncts[assignment.disjunct_index]
+    facts = []
+    for atom in disjunct.positive_atoms:
+        facts.append(GroundAtom(atom.predicate, assignment.values_of(atom.arguments)))
+    return Database(facts)
+
+
+def decomposition(
+    first: Query, second: Query, database: Database, group: tuple
+) -> list[Database]:
+    """The decomposition ∆ of ``database`` with respect to the two queries and
+    the group tuple ``group`` (Equation 11)."""
+    parts: list[Database] = []
+    seen: set[frozenset] = set()
+    for query in (first, second):
+        groups = group_assignments(query, database)
+        for assignment in groups.get(group, []):
+            base = assignment_database(query, assignment)
+            extended = extend_database(base, first, second, database)
+            key = extended.facts
+            if key not in seen:
+                seen.add(key)
+                parts.append(extended)
+    return parts
+
+
+# ----------------------------------------------------------------------
+# Verification of the decomposition properties
+# ----------------------------------------------------------------------
+@dataclass
+class DecompositionCheck:
+    """The result of verifying the three decomposition properties."""
+
+    sizes_ok: bool
+    assignments_cover: bool
+    intersections_ok: bool
+    part_count: int
+    term_size: int
+
+    @property
+    def is_decomposition(self) -> bool:
+        return self.sizes_ok and self.assignments_cover and self.intersections_ok
+
+
+def _group_assignment_set(query: Query, database: Database, group: tuple) -> frozenset:
+    return frozenset(group_assignments(query, database).get(group, []))
+
+
+def verify_decomposition(
+    first: Query,
+    second: Query,
+    database: Database,
+    group: tuple,
+    parts: Sequence[Database],
+    max_subfamily_size: int = 3,
+) -> DecompositionCheck:
+    """Check Properties 1–3 of decompositions for ``parts``.
+
+    Property 3 quantifies over all subfamilies; to keep the check affordable it
+    is verified for subfamilies up to ``max_subfamily_size`` (and the full
+    family), which is exactly what the equivalence proof exercises for small
+    examples.
+    """
+    bound = term_size_of_pair(first, second)
+    sizes_ok = all(part.carrier_size <= bound for part in parts)
+
+    assignments_cover = True
+    for query in (first, second):
+        over_full = _group_assignment_set(query, database, group)
+        over_parts: set = set()
+        for part in parts:
+            over_parts |= _group_assignment_set(query, part, group)
+        if over_full != frozenset(over_parts):
+            assignments_cover = False
+            break
+
+    intersections_ok = True
+    indices = list(range(len(parts)))
+    subfamilies: list[tuple[int, ...]] = []
+    for size in range(2, min(max_subfamily_size, len(parts)) + 1):
+        subfamilies.extend(itertools.combinations(indices, size))
+    if len(parts) > max_subfamily_size:
+        subfamilies.append(tuple(indices))
+    for query in (first, second):
+        if not intersections_ok:
+            break
+        for subfamily in subfamilies:
+            assignment_intersection: Optional[frozenset] = None
+            database_intersection: Optional[Database] = None
+            for index in subfamily:
+                part = parts[index]
+                assignments = _group_assignment_set(query, part, group)
+                assignment_intersection = (
+                    assignments
+                    if assignment_intersection is None
+                    else assignment_intersection & assignments
+                )
+                database_intersection = (
+                    part
+                    if database_intersection is None
+                    else database_intersection.intersection(part)
+                )
+            assert assignment_intersection is not None and database_intersection is not None
+            direct = _group_assignment_set(query, database_intersection, group)
+            if assignment_intersection != direct:
+                intersections_ok = False
+                break
+
+    return DecompositionCheck(
+        sizes_ok=sizes_ok,
+        assignments_cover=assignments_cover,
+        intersections_ok=intersections_ok,
+        part_count=len(parts),
+        term_size=bound,
+    )
+
+
+# ----------------------------------------------------------------------
+# Decomposition principles (Propositions 5.1 and 5.2)
+# ----------------------------------------------------------------------
+def aggregate_of_assignments(
+    function: AggregationFunction, query: Query, assignments: Iterable[LabeledAssignment]
+):
+    """α(ȳ) ↓ A for a set of labeled assignments A."""
+    aggregation_variables = query.aggregation_variables()
+    bag = [assignment.values_of(aggregation_variables) for assignment in assignments]
+    return function.apply(bag)
+
+
+def recombine_idempotent(
+    function: AggregationFunction,
+    query: Query,
+    parts: Sequence[Database],
+    group: tuple,
+):
+    """The right-hand side of the idempotent decomposition principle
+    (Proposition 5.1): the monoid sum of the per-part aggregates."""
+    if not function.is_idempotent_monoidal:
+        raise ReproError(f"{function.name} is not an idempotent monoid aggregation function")
+    monoid = function.monoid
+    assert monoid is not None
+    values = []
+    for part in parts:
+        assignments = group_assignments(query, part).get(group, [])
+        values.append(aggregate_of_assignments(function, query, assignments))
+    return monoid.combine(values)
+
+
+def recombine_group(
+    function: AggregationFunction,
+    query: Query,
+    parts: Sequence[Database],
+    group: tuple,
+):
+    """The right-hand side of the group decomposition principle
+    (Proposition 5.2): inclusion–exclusion over intersections of the per-part
+    assignment sets, evaluated in the underlying group."""
+    if not function.is_group_monoidal:
+        raise ReproError(f"{function.name} is not a group aggregation function")
+    monoid = function.monoid
+    assert monoid is not None
+    assignment_sets = [
+        _group_assignment_set(query, part, group) for part in parts
+    ]
+    total = monoid.neutral()
+    for size in range(1, len(assignment_sets) + 1):
+        layer = monoid.neutral()
+        for subset in itertools.combinations(assignment_sets, size):
+            intersection = set(subset[0])
+            for assignments in subset[1:]:
+                intersection &= assignments
+            layer = monoid.operation(
+                layer, aggregate_of_assignments(function, query, intersection)
+            )
+        if size % 2 == 1:
+            total = monoid.operation(total, layer)
+        else:
+            total = monoid.subtract(total, layer)
+    return total
+
+
+def direct_aggregate(
+    function: AggregationFunction, query: Query, database: Database, group: tuple
+):
+    """α(ȳ) ↓ Γ_d̄(q, D): the left-hand side of both decomposition principles."""
+    assignments = group_assignments(query, database).get(group, [])
+    return aggregate_of_assignments(function, query, assignments)
+
+
+def decomposition_principle_holds(
+    query: Query,
+    other: Query,
+    database: Database,
+    group: tuple,
+    function: Optional[AggregationFunction] = None,
+) -> bool:
+    """Empirically check the appropriate decomposition principle on the
+    decomposition of ``database`` (the key step in the proof of Theorem 6.5)."""
+    if function is None:
+        if query.aggregate is None:
+            raise ReproError("decomposition principles apply to aggregate queries")
+        function = get_function(query.aggregate.function)
+    parts = decomposition(query, other, database, group)
+    if not parts:
+        return direct_aggregate(function, query, database, group) == function.apply([])
+    direct = direct_aggregate(function, query, database, group)
+    if function.is_idempotent_monoidal:
+        return direct == recombine_idempotent(function, query, parts, group)
+    if function.is_group_monoidal:
+        return direct == recombine_group(function, query, parts, group)
+    raise ReproError(f"{function.name} is not decomposable")

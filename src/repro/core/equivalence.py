@@ -1,0 +1,277 @@
+"""The top-level equivalence checker and the decidability map (Table 2).
+
+:func:`are_equivalent` dispatches a pair of queries to the strongest decision
+procedure the paper provides for them:
+
+1. **Non-aggregate queries** — local equivalence under set semantics
+   (Levy–Sagiv style reduction to small databases).
+2. **Quasilinear aggregate queries** with a singleton-determining function (or
+   ``cntd`` under the side conditions of Theorem 7.4) — isomorphism of the
+   reduced queries, in polynomial time (Section 7).
+3. **Decomposable functions** (``count``, ``parity``, ``sum``, ``max``,
+   ``top2``, ``min``, ``bot2``, …) and ``prod`` over the rationals — local
+   equivalence via the bounded-equivalence procedure (Theorems 6.5 and 6.6).
+4. **Everything else** (``avg`` and ``cntd`` outside the quasilinear fragment,
+   ``prod`` over the integers) — the paper leaves the problem open; the checker
+   runs a counterexample search and a bounded check, and reports ``UNKNOWN``
+   when neither settles the question.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..aggregates.functions import AggregationFunction, PAPER_FUNCTIONS, get_function
+from ..datalog.database import Database
+from ..datalog.queries import Query, term_size_of_pair
+from ..domains import Domain
+from ..errors import UndecidableError, UnsupportedAggregateError
+from .bounded import Counterexample, EquivalenceReport, bounded_equivalence, local_equivalence
+from .counterexample import find_counterexample
+from .quasilinear import QuasilinearVerdict, is_quasilinear_decidable, quasilinear_equivalent
+
+
+class Verdict(enum.Enum):
+    """Outcome of an equivalence check."""
+
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not equivalent"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class EquivalenceResult:
+    """The outcome of :func:`are_equivalent`, with provenance."""
+
+    verdict: Verdict
+    method: str
+    domain: Domain
+    details: str = ""
+    counterexample: Optional[Counterexample] = None
+    report: Optional[EquivalenceReport] = None
+    quasilinear: Optional[QuasilinearVerdict] = None
+
+    @property
+    def is_equivalent(self) -> bool:
+        return self.verdict is Verdict.EQUIVALENT
+
+    def __bool__(self) -> bool:
+        return self.is_equivalent
+
+    def __str__(self) -> str:
+        return f"{self.verdict.value} (method: {self.method}) {self.details}".strip()
+
+
+def _decidable_by_local_equivalence(function: AggregationFunction, domain: Domain) -> bool:
+    """Whether Theorem 6.5 (or 6.6 for prod over Q) applies."""
+    if function.is_decomposable:
+        return True
+    if function.decomposable_over_nonzero_only and domain.is_dense:
+        # prod over the rationals: Theorem 6.6.
+        return True
+    return False
+
+
+def are_equivalent(
+    first: Query,
+    second: Query,
+    domain: Domain = Domain.RATIONALS,
+    prefer_quasilinear: bool = True,
+    max_subsets: int = 2_000_000,
+    counterexample_trials: int = 400,
+    unknown_bound: Optional[int] = None,
+) -> EquivalenceResult:
+    """Decide (when the paper's results allow it) whether ``first ≡ second``.
+
+    ``unknown_bound`` optionally requests a bounded-equivalence check with the
+    given N before reporting UNKNOWN for the undecided classes.
+    """
+    if first.is_aggregate != second.is_aggregate:
+        raise UnsupportedAggregateError(
+            "cannot compare an aggregate query with a non-aggregate query"
+        )
+
+    if not first.is_aggregate:
+        report = local_equivalence(first, second, domain=domain, max_subsets=max_subsets)
+        verdict = Verdict.EQUIVALENT if report.equivalent else Verdict.NOT_EQUIVALENT
+        return EquivalenceResult(
+            verdict,
+            method="local-equivalence (set semantics)",
+            domain=domain,
+            report=report,
+            counterexample=report.counterexample,
+            details=f"bound τ = {report.bound}",
+        )
+
+    assert first.aggregate is not None and second.aggregate is not None
+    if first.aggregate.function != second.aggregate.function:
+        return EquivalenceResult(
+            Verdict.NOT_EQUIVALENT,
+            method="syntactic",
+            domain=domain,
+            details="the queries use different aggregation functions",
+        )
+    function = get_function(first.aggregate.function)
+
+    if prefer_quasilinear and is_quasilinear_decidable(first, second, function, domain):
+        verdict = quasilinear_equivalent(first, second, domain)
+        counterexample = None
+        if not verdict.equivalent:
+            # The isomorphism argument is non-constructive; attach a concrete
+            # witness when a quick search finds one.
+            witness = find_counterexample(first, second, domain=domain, trials=200)
+            if witness is not None:
+                from ..engine.evaluator import evaluate
+
+                counterexample = Counterexample(
+                    database=witness,
+                    left_result=evaluate(first, witness),
+                    right_result=evaluate(second, witness),
+                )
+        return EquivalenceResult(
+            Verdict.EQUIVALENT if verdict.equivalent else Verdict.NOT_EQUIVALENT,
+            method="quasilinear isomorphism",
+            domain=domain,
+            details=verdict.reason,
+            quasilinear=verdict,
+            counterexample=counterexample,
+        )
+
+    if _decidable_by_local_equivalence(function, domain):
+        report = local_equivalence(first, second, domain=domain, max_subsets=max_subsets)
+        verdict = Verdict.EQUIVALENT if report.equivalent else Verdict.NOT_EQUIVALENT
+        return EquivalenceResult(
+            verdict,
+            method="local-equivalence (Theorem 6.5/6.6)",
+            domain=domain,
+            report=report,
+            counterexample=report.counterexample,
+            details=f"bound τ = {report.bound}",
+        )
+
+    # Undecided fragment: avg / cntd beyond the quasilinear case, prod over Z.
+    witness = find_counterexample(
+        first, second, domain=domain, trials=counterexample_trials
+    )
+    if witness is not None:
+        from ..engine.evaluator import evaluate
+
+        return EquivalenceResult(
+            Verdict.NOT_EQUIVALENT,
+            method="counterexample search",
+            domain=domain,
+            counterexample=Counterexample(
+                database=witness,
+                left_result=evaluate(first, witness),
+                right_result=evaluate(second, witness),
+            ),
+            details="a distinguishing database was found",
+        )
+    details = (
+        f"equivalence of {function.name}-queries outside the quasilinear fragment "
+        "is not settled by the paper"
+    )
+    report = None
+    if unknown_bound is not None:
+        report = bounded_equivalence(
+            first, second, unknown_bound, domain=domain, max_subsets=max_subsets
+        )
+        if not report.equivalent:
+            return EquivalenceResult(
+                Verdict.NOT_EQUIVALENT,
+                method=f"bounded equivalence (N={unknown_bound})",
+                domain=domain,
+                report=report,
+                counterexample=report.counterexample,
+            )
+        details += f"; the queries are {unknown_bound}-equivalent"
+    return EquivalenceResult(
+        Verdict.UNKNOWN, method="undecided fragment", domain=domain, details=details, report=report
+    )
+
+
+def decide_or_raise(first: Query, second: Query, domain: Domain = Domain.RATIONALS) -> bool:
+    """A strict variant of :func:`are_equivalent` that raises
+    :class:`UndecidableError` instead of returning UNKNOWN."""
+    result = are_equivalent(first, second, domain=domain)
+    if result.verdict is Verdict.UNKNOWN:
+        raise UndecidableError(result.details)
+    return result.is_equivalent
+
+
+# ----------------------------------------------------------------------
+# Table 2: decidability of the query classes
+# ----------------------------------------------------------------------
+@dataclass
+class DecidabilityRow:
+    """One row of Table 2."""
+
+    function: str
+    bounded_equivalence: bool
+    equivalence: str
+    quasilinear: str
+
+    def cells(self) -> tuple[str, str, str]:
+        return ("yes" if self.bounded_equivalence else "no", self.equivalence, self.quasilinear)
+
+
+#: The paper's Table 2, transcribed for comparison.  The ``equivalence`` and
+#: ``quasilinear`` cells are strings because the paper leaves some cells blank
+#: and marks cntd's quasilinear cell as "special cases".
+PAPER_TABLE2: dict[str, tuple[bool, str, str]] = {
+    "count": (True, "yes", "yes"),
+    "max": (True, "yes", "yes"),
+    "sum": (True, "yes", "yes"),
+    "prod": (True, "yes", "yes"),
+    "top2": (True, "yes", "yes"),
+    "avg": (True, "open", "yes"),
+    "cntd": (True, "open", "special cases"),
+    "parity": (True, "yes", "yes"),
+}
+
+
+def build_table2(domain: Domain = Domain.RATIONALS) -> list[DecidabilityRow]:
+    """Regenerate Table 2 from the traits of the implemented functions."""
+    rows = []
+    for function in PAPER_FUNCTIONS:
+        bounded = function.is_order_decidable_over(domain)
+        if _decidable_by_local_equivalence(function, domain):
+            equivalence = "yes"
+        else:
+            equivalence = "open"
+        if function.is_singleton_determining:
+            quasilinear = "yes"
+        elif function.name == "cntd":
+            quasilinear = "special cases"
+        else:
+            quasilinear = "open"
+        rows.append(DecidabilityRow(function.name, bounded, equivalence, quasilinear))
+    return rows
+
+
+def table2_matches_paper(rows) -> bool:
+    """Whether the regenerated Table 2 agrees with the paper cell by cell."""
+    for row in rows:
+        expected = PAPER_TABLE2.get(row.function)
+        if expected is None:
+            continue
+        bounded, equivalence, quasilinear = expected
+        if row.bounded_equivalence != bounded:
+            return False
+        if row.equivalence != equivalence or row.quasilinear != quasilinear:
+            return False
+    return True
+
+
+def format_table2(rows) -> str:
+    """Render Table 2 in the same layout as the paper."""
+    header = (
+        f"{'':10s} {'Bounded Equiv.':>15s} {'Equivalence':>12s} {'Quasilinear=Iso':>16s}"
+    )
+    lines = [header]
+    for row in rows:
+        cells = row.cells()
+        lines.append(f"{row.function:10s} {cells[0]:>15s} {cells[1]:>12s} {cells[2]:>16s}")
+    return "\n".join(lines)

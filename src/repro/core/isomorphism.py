@@ -1,0 +1,276 @@
+"""Homomorphisms and isomorphisms between conjunctive queries.
+
+Section 7 of the paper defines a homomorphism from a conjunctive aggregate
+query ``q'(s̄', α(t̄')) ← P' ∧ N' ∧ C'`` to ``q(s̄, α(t̄)) ← P ∧ N ∧ C`` as a
+substitution θ of the variables of q' by terms of q such that
+
+1. ``θ(s̄') = s̄`` and ``θ(t̄') = t̄``,
+2. ``θ(a')`` is in ``P`` for every positive atom ``a'`` of ``P'``,
+3. ``θ(a')`` is in ``N`` for every negated atom ``a'`` of ``N'``,
+4. ``C |=_I θ(s' ρ t')`` for every comparison of ``C'``.
+
+A homomorphism is an isomorphism when it is bijective and its inverse is also
+a homomorphism.  For quasilinear queries equivalence coincides with
+isomorphism (Theorems 7.1 and 7.2), which makes the equivalence problem
+polynomial; the general backtracking search implemented here is still worst-
+case exponential but is shared by both the quasilinear fast path (where the
+candidate sets have size one) and diagnostic tooling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Optional
+
+from ..datalog.atoms import Comparison, RelationalAtom
+from ..datalog.queries import Query
+from ..datalog.terms import Constant, Term, Variable
+from ..domains import Domain
+from ..errors import MalformedQueryError
+from ..orderings.constraints import ComparisonSystem
+
+
+def _single_condition(query: Query):
+    if not query.is_conjunctive:
+        raise MalformedQueryError("homomorphisms are defined between conjunctive queries")
+    return query.disjuncts[0]
+
+
+def _apply(term: Term, substitution: Mapping[Variable, Term]) -> Term:
+    if isinstance(term, Constant):
+        return term
+    return substitution.get(term, term)
+
+
+def homomorphisms(
+    source: Query, target: Query, domain: Domain = Domain.RATIONALS
+) -> Iterator[dict[Variable, Term]]:
+    """Enumerate the homomorphisms from ``source`` to ``target``.
+
+    Following the paper's convention, a homomorphism goes *from* q' *to* q and
+    maps the variables of q' to terms of q.
+    """
+    source_condition = _single_condition(source)
+    target_condition = _single_condition(target)
+    if len(source.head_terms) != len(target.head_terms):
+        return
+    if (source.aggregate is None) != (target.aggregate is None):
+        return
+    if source.aggregate is not None and target.aggregate is not None:
+        if source.aggregate.function != target.aggregate.function:
+            return
+        if len(source.aggregate.arguments) != len(target.aggregate.arguments):
+            return
+
+    substitution: dict[Variable, Term] = {}
+    # Head constraints (condition 1) seed the substitution.
+    head_pairs = list(zip(source.head_terms, target.head_terms))
+    if source.aggregate is not None and target.aggregate is not None:
+        head_pairs.extend(zip(source.aggregate.arguments, target.aggregate.arguments))
+    for source_term, target_term in head_pairs:
+        if isinstance(source_term, Constant):
+            if source_term != target_term:
+                return
+        else:
+            bound = substitution.get(source_term)
+            if bound is None:
+                substitution[source_term] = target_term
+            elif bound != target_term:
+                return
+
+    target_system = ComparisonSystem(target_condition.comparisons, domain)
+    target_positive = list(target_condition.positive_atoms)
+    target_negated = list(target_condition.negated_atoms)
+    source_positive = list(source_condition.positive_atoms)
+    source_negated = list(source_condition.negated_atoms)
+
+    yield from _search(
+        source_positive,
+        source_negated,
+        source_condition.comparisons,
+        target_positive,
+        target_negated,
+        target_system,
+        substitution,
+        sorted(source_condition.variables(), key=lambda v: v.name),
+        sorted(
+            {term for atom in target_positive for term in atom.arguments}
+            | {term for atom in target_negated for term in atom.arguments}
+            | set(target.head_terms)
+            | set(target.aggregation_variables())
+            | {term for c in target_condition.comparisons for term in (c.left, c.right)},
+            key=str,
+        ),
+    )
+
+
+def _search(
+    source_positive,
+    source_negated,
+    source_comparisons,
+    target_positive,
+    target_negated,
+    target_system: ComparisonSystem,
+    substitution: dict[Variable, Term],
+    source_variables,
+    target_terms,
+) -> Iterator[dict[Variable, Term]]:
+    """Backtracking over atom-to-atom matchings, then over any still-unbound
+    variables (which can only be constrained by comparisons)."""
+
+    def extend_with_atom(atom: RelationalAtom, image: RelationalAtom, current: dict) -> Optional[dict]:
+        if atom.predicate != image.predicate or atom.arity != image.arity:
+            return None
+        extended = dict(current)
+        for argument, value in zip(atom.arguments, image.arguments):
+            if isinstance(argument, Constant):
+                if argument != value:
+                    return None
+            else:
+                bound = extended.get(argument)
+                if bound is None:
+                    extended[argument] = value
+                elif bound != value:
+                    return None
+        return extended
+
+    def match_atoms(index: int, atoms, images, current: dict) -> Iterator[dict]:
+        if index == len(atoms):
+            yield current
+            return
+        for image in images:
+            extended = extend_with_atom(atoms[index], image, current)
+            if extended is not None:
+                yield from match_atoms(index + 1, atoms, images, extended)
+
+    for after_positive in match_atoms(0, source_positive, target_positive, substitution):
+        for after_negated in match_atoms(0, source_negated, target_negated, after_positive):
+            unbound = [v for v in source_variables if v not in after_negated]
+            for completion in _complete_unbound(unbound, target_terms, after_negated):
+                if _comparisons_entailed(source_comparisons, completion, target_system):
+                    yield completion
+
+
+def _complete_unbound(
+    unbound: list[Variable], target_terms, substitution: dict
+) -> Iterator[dict]:
+    if not unbound:
+        yield substitution
+        return
+    candidates = list(target_terms) or [Constant(0)]
+    for choice in itertools.product(candidates, repeat=len(unbound)):
+        extended = dict(substitution)
+        extended.update(dict(zip(unbound, choice)))
+        yield extended
+
+
+def _comparisons_entailed(
+    comparisons, substitution: Mapping[Variable, Term], target_system: ComparisonSystem
+) -> bool:
+    for comparison in comparisons:
+        mapped = Comparison(
+            _apply(comparison.left, substitution),
+            comparison.op,
+            _apply(comparison.right, substitution),
+        )
+        if mapped.left == mapped.right:
+            if not mapped.op.holds(0, 0):
+                return False
+            continue
+        if isinstance(mapped.left, Constant) and isinstance(mapped.right, Constant):
+            if not mapped.evaluate_ground():
+                return False
+            continue
+        if not target_system.entails(mapped):
+            return False
+    return True
+
+
+def find_homomorphism(
+    source: Query, target: Query, domain: Domain = Domain.RATIONALS
+) -> Optional[dict[Variable, Term]]:
+    """The first homomorphism from ``source`` to ``target``, if any."""
+    for substitution in homomorphisms(source, target, domain):
+        return substitution
+    return None
+
+
+def has_homomorphism(source: Query, target: Query, domain: Domain = Domain.RATIONALS) -> bool:
+    return find_homomorphism(source, target, domain) is not None
+
+
+# ----------------------------------------------------------------------
+# Isomorphisms
+# ----------------------------------------------------------------------
+def is_variable_bijection(substitution: Mapping[Variable, Term], source: Query, target: Query) -> bool:
+    """Whether the substitution maps the variables of ``source`` bijectively
+    onto the variables of ``target`` (constants map to themselves)."""
+    source_variables = source.disjuncts[0].variables() | set(source.aggregation_variables())
+    target_variables = target.disjuncts[0].variables() | set(target.aggregation_variables())
+    image = []
+    for variable in source_variables:
+        value = substitution.get(variable)
+        if not isinstance(value, Variable):
+            return False
+        image.append(value)
+    return len(set(image)) == len(source_variables) and set(image) == target_variables
+
+
+def _invert(substitution: Mapping[Variable, Term]) -> dict[Variable, Term]:
+    inverted: dict[Variable, Term] = {}
+    for variable, value in substitution.items():
+        if isinstance(value, Variable):
+            inverted[value] = variable
+    return inverted
+
+
+def isomorphisms(
+    first: Query, second: Query, domain: Domain = Domain.RATIONALS
+) -> Iterator[dict[Variable, Term]]:
+    """Enumerate the isomorphisms from ``first`` to ``second``: bijective
+    homomorphisms whose inverse is also a homomorphism."""
+    for substitution in homomorphisms(first, second, domain):
+        if not is_variable_bijection(substitution, first, second):
+            continue
+        inverse = _invert(substitution)
+        if _is_homomorphism_substitution(inverse, second, first, domain):
+            yield substitution
+
+
+def _is_homomorphism_substitution(
+    substitution: Mapping[Variable, Term], source: Query, target: Query, domain: Domain
+) -> bool:
+    """Whether a concrete substitution is a homomorphism from source to target."""
+    source_condition = _single_condition(source)
+    target_condition = _single_condition(target)
+    if len(source.head_terms) != len(target.head_terms):
+        return False
+    head_pairs = list(zip(source.head_terms, target.head_terms))
+    if source.aggregate is not None and target.aggregate is not None:
+        head_pairs.extend(zip(source.aggregate.arguments, target.aggregate.arguments))
+    for source_term, target_term in head_pairs:
+        if _apply(source_term, substitution) != target_term:
+            return False
+    target_positive = set(target_condition.positive_atoms)
+    target_negated = set(target_condition.negated_atoms)
+    for atom in source_condition.positive_atoms:
+        if atom.substitute(substitution) not in target_positive:
+            return False
+    for atom in source_condition.negated_atoms:
+        if atom.substitute(substitution) not in target_negated:
+            return False
+    target_system = ComparisonSystem(target_condition.comparisons, domain)
+    return _comparisons_entailed(source_condition.comparisons, substitution, target_system)
+
+
+def find_isomorphism(
+    first: Query, second: Query, domain: Domain = Domain.RATIONALS
+) -> Optional[dict[Variable, Term]]:
+    for substitution in isomorphisms(first, second, domain):
+        return substitution
+    return None
+
+
+def are_isomorphic(first: Query, second: Query, domain: Domain = Domain.RATIONALS) -> bool:
+    """Whether the two conjunctive queries are isomorphic."""
+    return find_isomorphism(first, second, domain) is not None

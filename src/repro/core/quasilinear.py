@@ -1,0 +1,145 @@
+"""Equivalence of conjunctive quasilinear queries (Section 7).
+
+A conjunctive query is *quasilinear* when no predicate that occurs in a
+positive literal occurs more than once (in particular, no predicate occurs both
+positively and negated).  For quasilinear α-queries with a singleton-
+determining aggregation function, equivalence coincides with isomorphism of the
+reduced queries (Theorems 7.1 and 7.2); for ``cntd`` the same holds under the
+additional conditions of Theorem 7.4 (comparisons restricted to ``≤``/``≥``,
+and either a dense domain or no constants).  Since the positive parts of
+quasilinear queries are linear, the isomorphism test is polynomial
+(Corollary 7.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..aggregates.functions import AggregationFunction, get_function
+from ..datalog.atoms import ComparisonOp
+from ..datalog.queries import Query
+from ..datalog.terms import Term, Variable
+from ..domains import Domain
+from ..errors import UndecidableError
+from .isomorphism import are_isomorphic, find_isomorphism
+from .reduction import query_satisfiable, reduce_query
+
+
+@dataclass
+class QuasilinearVerdict:
+    """The outcome of the quasilinear decision procedure."""
+
+    equivalent: bool
+    reason: str
+    isomorphism: Optional[dict[Variable, Term]] = None
+    reduced_first: Optional[Query] = None
+    reduced_second: Optional[Query] = None
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def is_quasilinear_decidable(
+    query: Query, other: Query, function: Optional[AggregationFunction], domain: Domain
+) -> bool:
+    """Whether the pair of queries falls into the fragment covered by
+    Theorems 7.2 and 7.4."""
+    if not (query.is_quasilinear and other.is_quasilinear):
+        return False
+    if function is None:
+        # Non-aggregate queries behave like max-queries for this purpose only
+        # when they are positive; the general non-aggregate case is handled by
+        # the Levy–Sagiv style procedure instead.
+        return False
+    if function.is_singleton_determining:
+        return True
+    if function.name == "cntd":
+        return _cntd_conditions_hold(query, domain) and _cntd_conditions_hold(other, domain)
+    return False
+
+
+def _cntd_conditions_hold(query: Query, domain: Domain) -> bool:
+    """The side conditions of Theorem 7.4 for count-distinct queries."""
+    allowed = {ComparisonOp.LE, ComparisonOp.GE, ComparisonOp.EQ}
+    for disjunct in query.disjuncts:
+        for comparison in disjunct.comparisons:
+            if comparison.op not in allowed:
+                return False
+    if domain.is_dense:
+        return True
+    return not query.constants()
+
+
+def quasilinear_equivalent(
+    first: Query, second: Query, domain: Domain = Domain.RATIONALS
+) -> QuasilinearVerdict:
+    """Decide equivalence of two quasilinear aggregate queries.
+
+    The procedure follows Section 7: reduce both queries, dispose of
+    unsatisfiable queries, and compare the reduced queries up to isomorphism.
+    """
+    if not first.is_aggregate or not second.is_aggregate:
+        raise UndecidableError("the quasilinear procedure expects aggregate queries")
+    assert first.aggregate is not None and second.aggregate is not None
+    if first.aggregate.function != second.aggregate.function:
+        return QuasilinearVerdict(False, "different aggregation functions")
+    function = get_function(first.aggregate.function)
+    if not is_quasilinear_decidable(first, second, function, domain):
+        raise UndecidableError(
+            "the queries are outside the quasilinear fragment covered by Theorems 7.2/7.4"
+        )
+
+    first_satisfiable = query_satisfiable(first, domain)
+    second_satisfiable = query_satisfiable(second, domain)
+    if not first_satisfiable and not second_satisfiable:
+        return QuasilinearVerdict(True, "both queries are unsatisfiable")
+    if first_satisfiable != second_satisfiable:
+        return QuasilinearVerdict(False, "exactly one of the queries is unsatisfiable")
+
+    reduced_first = reduce_query(first, domain)
+    reduced_second = reduce_query(second, domain)
+    isomorphism = find_isomorphism(reduced_first, reduced_second, domain)
+    if isomorphism is not None:
+        return QuasilinearVerdict(
+            True,
+            "the reduced queries are isomorphic",
+            isomorphism=isomorphism,
+            reduced_first=reduced_first,
+            reduced_second=reduced_second,
+        )
+    return QuasilinearVerdict(
+        False,
+        "the reduced queries are not isomorphic (equivalence = isomorphism for this class)",
+        reduced_first=reduced_first,
+        reduced_second=reduced_second,
+    )
+
+
+def linear_equivalent(first: Query, second: Query, domain: Domain = Domain.RATIONALS) -> bool:
+    """Equivalence for *linear* (positive, non-repeating) queries — the
+    special case from which Theorem 7.1 lifts to quasilinear queries."""
+    if not (first.is_linear and second.is_linear):
+        raise UndecidableError("linear_equivalent expects linear queries")
+    verdict = quasilinear_equivalent(first, second, domain)
+    return verdict.equivalent
+
+
+def positive_projections_isomorphic(
+    first: Query, second: Query, domain: Domain = Domain.RATIONALS
+) -> bool:
+    """Whether the positive parts q+ and q'+ (positive atoms plus comparisons,
+    negation dropped) are isomorphic — the case split used in the proof of
+    Theorem 7.1."""
+    return are_isomorphic(_positive_part(first), _positive_part(second), domain)
+
+
+def _positive_part(query: Query) -> Query:
+    condition = query.disjuncts[0]
+    literals = tuple(condition.positive_atoms) + tuple(condition.comparisons)
+    return Query(
+        query.name,
+        query.head_terms,
+        (type(condition)(literals),),
+        query.aggregate,
+    )

@@ -1,0 +1,209 @@
+"""Query reduction and satisfiability of conjunctive queries.
+
+Section 7 of the paper works with *reduced* queries: conjunctive queries whose
+comparisons do not entail an equality between two variables or between a
+variable and a domain constant.  Every conjunctive query (with negation) can be
+rewritten in polynomial time into an equivalent reduced query by substituting
+entailed equalities; the head of the reduced query may then contain constants.
+
+This module implements
+
+* :func:`reduce_query` — the reduction of a conjunctive query over Z or Q,
+* :func:`condition_satisfiable` / :func:`query_satisfiable` — exact
+  satisfiability of conditions and disjunctive queries with negation and
+  comparisons, via enumeration of the complete orderings of the condition's
+  terms (a condition is satisfiable iff some complete ordering consistent with
+  its comparisons creates no clash between a negated atom and a positive atom).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datalog.atoms import Comparison, ComparisonOp, RelationalAtom
+from ..datalog.conditions import Condition
+from ..datalog.queries import Query
+from ..datalog.terms import Constant, Term, Variable
+from ..domains import Domain
+from ..errors import MalformedQueryError
+from ..orderings.complete_orderings import CompleteOrdering, enumerate_complete_orderings
+from ..orderings.constraints import ComparisonSystem
+
+
+# ----------------------------------------------------------------------
+# Reduction
+# ----------------------------------------------------------------------
+def entailed_substitution(condition: Condition, domain: Domain) -> dict[Variable, Term]:
+    """The substitution that eliminates every equality entailed by the
+    condition's comparisons over the domain.
+
+    Variables pinned to a constant are mapped to that constant; groups of
+    variables forced to be equal are mapped to a single representative.
+    """
+    system = ComparisonSystem(condition.comparisons, domain)
+    if not system.is_satisfiable():
+        return {}
+    substitution: dict[Variable, Term] = {}
+    for variable, value in system.pinned_constants().items():
+        substitution[variable] = Constant(value)
+    # Union-find over variables forced equal (that are not already pinned).
+    parent: dict[Variable, Variable] = {}
+
+    def find(variable: Variable) -> Variable:
+        while parent.get(variable, variable) != variable:
+            parent[variable] = parent.get(parent[variable], parent[variable])
+            variable = parent[variable]
+        return variable
+
+    variables = sorted(system.variables(), key=lambda v: v.name)
+    for index, first in enumerate(variables):
+        if first in substitution:
+            continue
+        for second in variables[index + 1 :]:
+            if second in substitution:
+                continue
+            if system.entails(Comparison(first, ComparisonOp.EQ, second)):
+                root_first, root_second = find(first), find(second)
+                if root_first != root_second:
+                    parent[max(root_first, root_second, key=lambda v: v.name)] = min(
+                        root_first, root_second, key=lambda v: v.name
+                    )
+    for variable in variables:
+        if variable in substitution:
+            continue
+        root = find(variable)
+        if root != variable:
+            substitution[variable] = root
+    return substitution
+
+
+def reduce_condition(condition: Condition, domain: Domain) -> tuple[Condition, dict[Variable, Term]]:
+    """Apply the entailed substitution and drop the trivial comparisons that
+    result.  Returns the reduced condition and the substitution used."""
+    substitution = entailed_substitution(condition, domain)
+    if not substitution:
+        return condition.without_trivial_comparisons(), {}
+    reduced = condition.substitute(substitution).without_trivial_comparisons()
+    return reduced, substitution
+
+
+def reduce_query(query: Query, domain: Domain = Domain.RATIONALS) -> Query:
+    """An equivalent reduced query (conjunctive queries only).
+
+    The substitution derived from the single disjunct is applied to the head as
+    well, so the head of the result may contain constants.  Aggregation
+    variables cannot syntactically be replaced by constants, so a substitution
+    that would pin an aggregation variable to a constant is simply not applied
+    to that variable (the query then stays equivalent but keeps the pinning
+    comparisons for that variable).
+    """
+    if not query.is_conjunctive:
+        raise MalformedQueryError("reduction is defined for conjunctive queries")
+    condition = query.disjuncts[0]
+    substitution = entailed_substitution(condition, domain)
+    # The head syntax constrains which substitutions may be applied:
+    # aggregation variables must remain variables and must stay disjoint from
+    # the grouping variables.  Offending pairs are dropped (the entailed
+    # equality then simply remains in the body, which preserves equivalence).
+    aggregation_variables = set(query.aggregation_variables())
+    grouping_variables = query.grouping_variables()
+    for variable in list(substitution):
+        target = substitution[variable]
+        if variable in aggregation_variables:
+            if isinstance(target, Constant) or target in grouping_variables:
+                del substitution[variable]
+        elif variable in grouping_variables and target in aggregation_variables:
+            del substitution[variable]
+    if not substitution:
+        return query.with_disjuncts((condition.without_trivial_comparisons(),))
+    reduced_condition = condition.substitute(substitution).without_trivial_comparisons()
+    head_terms = tuple(
+        substitution.get(term, term) if isinstance(term, Variable) else term
+        for term in query.head_terms
+    )
+    aggregate = query.aggregate
+    if aggregate is not None:
+        renamed_arguments = tuple(
+            substitution.get(argument, argument) for argument in aggregate.arguments
+        )
+        aggregate = type(aggregate)(aggregate.function, renamed_arguments)
+    return Query(query.name, head_terms, (reduced_condition,), aggregate)
+
+
+def is_reduced(query: Query, domain: Domain = Domain.RATIONALS) -> bool:
+    """Whether a conjunctive query is already reduced over the domain."""
+    if not query.is_conjunctive:
+        raise MalformedQueryError("reduction is defined for conjunctive queries")
+    condition = query.disjuncts[0]
+    system = ComparisonSystem(condition.comparisons, domain)
+    if not system.is_satisfiable():
+        return True
+    if system.pinned_constants():
+        return False
+    variables = sorted(system.variables(), key=lambda v: v.name)
+    for index, first in enumerate(variables):
+        for second in variables[index + 1 :]:
+            if system.entails(Comparison(first, ComparisonOp.EQ, second)):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Satisfiability
+# ----------------------------------------------------------------------
+def condition_satisfiable(condition: Condition, domain: Domain = Domain.RATIONALS) -> bool:
+    """Exact satisfiability of a safe condition with negation and comparisons.
+
+    A condition ``P ∧ N ∧ C`` is satisfiable iff there is a complete ordering
+    of its terms that satisfies every comparison of ``C`` and under which no
+    negated atom coincides (up to the ordering's equalities) with a positive
+    atom: instantiating such an ordering injectively on blocks yields a
+    witnessing database, and conversely a witnessing assignment induces such an
+    ordering.
+    """
+    terms = condition.terms()
+    if not terms:
+        return not condition.negated_atoms or all(
+            atom.positive() not in condition.positive_atoms for atom in condition.negated_atoms
+        )
+    for ordering in enumerate_complete_orderings(terms, domain):
+        if not all(ordering.satisfies(comparison) for comparison in condition.comparisons):
+            continue
+        if not _has_negation_clash(condition, ordering):
+            return True
+    return False
+
+
+def _has_negation_clash(condition: Condition, ordering: CompleteOrdering) -> bool:
+    positive_rows = {
+        (atom.predicate, tuple(_representative(ordering, argument) for argument in atom.arguments))
+        for atom in condition.positive_atoms
+    }
+    for atom in condition.negated_atoms:
+        row = (
+            atom.predicate,
+            tuple(_representative(ordering, argument) for argument in atom.arguments),
+        )
+        if row in positive_rows:
+            return True
+    return False
+
+
+def _representative(ordering: CompleteOrdering, term: Term) -> Term:
+    return ordering.representative(ordering.block_index(term))
+
+
+def query_satisfiable(query: Query, domain: Domain = Domain.RATIONALS) -> bool:
+    """Whether some disjunct of the query is satisfiable over the domain."""
+    return any(condition_satisfiable(disjunct, domain) for disjunct in query.disjuncts)
+
+
+def satisfiable_disjuncts(query: Query, domain: Domain = Domain.RATIONALS) -> Query:
+    """The query restricted to its satisfiable disjuncts (an equivalent query
+    when at least one disjunct is satisfiable)."""
+    kept = tuple(
+        disjunct for disjunct in query.disjuncts if condition_satisfiable(disjunct, domain)
+    )
+    if not kept:
+        return query
+    return query.with_disjuncts(kept)

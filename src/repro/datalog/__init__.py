@@ -1,0 +1,46 @@
+"""Query language substrate: terms, atoms, conditions, queries, databases.
+
+This subpackage implements the syntax of Section 3 of the paper: disjunctive
+queries with negated subgoals, constants and comparisons, optionally carrying a
+single aggregate term in the head.
+"""
+
+from .atoms import Comparison, ComparisonOp, GroundAtom, Literal, RelationalAtom
+from .builder import QueryBuilder, aggregate_query
+from .conditions import Condition, make_condition
+from .database import EMPTY_DATABASE, Database
+from .parser import parse_database, parse_query
+from .queries import (
+    AggregateTerm,
+    Query,
+    combined_predicate_arities,
+    conjunctive_query,
+    term_size_of_pair,
+)
+from .terms import Constant, Term, Variable, make_term, make_terms
+
+__all__ = [
+    "AggregateTerm",
+    "Comparison",
+    "ComparisonOp",
+    "Condition",
+    "Constant",
+    "Database",
+    "EMPTY_DATABASE",
+    "GroundAtom",
+    "Literal",
+    "Query",
+    "QueryBuilder",
+    "RelationalAtom",
+    "Term",
+    "Variable",
+    "aggregate_query",
+    "combined_predicate_arities",
+    "conjunctive_query",
+    "make_condition",
+    "make_term",
+    "make_terms",
+    "parse_database",
+    "parse_query",
+    "term_size_of_pair",
+]

@@ -1,0 +1,112 @@
+"""A fluent, programmatic query builder.
+
+The parser (:mod:`repro.datalog.parser`) is the most compact way to write
+queries in tests and examples, but programmatically generated workloads are
+easier to express with a builder::
+
+    query = (
+        QueryBuilder("q", head=["x"], aggregate=("sum", ["y"]))
+        .atom("p", "x", "y")
+        .negated("r", "x")
+        .compare("y", ">", 0)
+        .disjunct()
+        .atom("p", "x", "y")
+        .compare("x", "<", 10)
+        .build()
+    )
+
+Each call appends a literal to the *current* disjunct; :meth:`QueryBuilder.disjunct`
+starts a new one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..domains import NumericLike
+from ..errors import MalformedQueryError
+from .atoms import Comparison, ComparisonOp, RelationalAtom
+from .conditions import Condition
+from .queries import AggregateTerm, Query
+from .terms import Term, Variable, make_term, make_terms
+
+TermLike = Union[Term, str, NumericLike]
+
+
+class QueryBuilder:
+    """Incrementally build a disjunctive (aggregate) query."""
+
+    def __init__(
+        self,
+        name: str,
+        head: Sequence[TermLike] = (),
+        aggregate: Optional[tuple[str, Sequence[TermLike]]] = None,
+    ):
+        self._name = name
+        self._head = make_terms(head)
+        self._aggregate = None
+        if aggregate is not None:
+            function, arguments = aggregate
+            argument_terms = make_terms(arguments)
+            for term in argument_terms:
+                if not isinstance(term, Variable):
+                    raise MalformedQueryError("aggregation arguments must be variables")
+            self._aggregate = AggregateTerm(function, argument_terms)  # type: ignore[arg-type]
+        self._disjuncts: list[list] = [[]]
+
+    # ------------------------------------------------------------------
+    # Literal construction
+    # ------------------------------------------------------------------
+    def atom(self, predicate: str, *arguments: TermLike) -> "QueryBuilder":
+        """Append a positive relational atom to the current disjunct."""
+        self._disjuncts[-1].append(RelationalAtom(predicate, make_terms(arguments)))
+        return self
+
+    def negated(self, predicate: str, *arguments: TermLike) -> "QueryBuilder":
+        """Append a negated relational atom to the current disjunct."""
+        self._disjuncts[-1].append(RelationalAtom(predicate, make_terms(arguments), negated=True))
+        return self
+
+    def compare(self, left: TermLike, op: str, right: TermLike) -> "QueryBuilder":
+        """Append a comparison to the current disjunct."""
+        self._disjuncts[-1].append(
+            Comparison(make_term(left), ComparisonOp.from_symbol(op), make_term(right))
+        )
+        return self
+
+    def equal(self, left: TermLike, right: TermLike) -> "QueryBuilder":
+        return self.compare(left, "=", right)
+
+    def literals(self, literals: Iterable) -> "QueryBuilder":
+        """Append already-constructed literals to the current disjunct."""
+        self._disjuncts[-1].extend(literals)
+        return self
+
+    def disjunct(self) -> "QueryBuilder":
+        """Close the current disjunct and start a new one."""
+        if not self._disjuncts[-1]:
+            raise MalformedQueryError("cannot start a new disjunct: the current one is empty")
+        self._disjuncts.append([])
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Query:
+        disjuncts = [Condition(tuple(literals)) for literals in self._disjuncts if literals]
+        if not disjuncts:
+            raise MalformedQueryError("cannot build a query with an empty body")
+        return Query(self._name, self._head, tuple(disjuncts), self._aggregate)
+
+
+def aggregate_query(
+    name: str,
+    head: Sequence[TermLike],
+    function: str,
+    aggregation_variables: Sequence[TermLike],
+    literals: Sequence,
+) -> Query:
+    """One-shot construction of a conjunctive aggregate query."""
+    builder = QueryBuilder(name, head, (function, aggregation_variables))
+    builder.literals(literals)
+    return builder.build()

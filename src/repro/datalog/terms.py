@@ -1,0 +1,137 @@
+"""Terms: variables and constants.
+
+A *term* is either a variable or a constant (Section 3.1 of the paper).  Terms
+are immutable, hashable value objects; two variables are the same term exactly
+when they carry the same name, and two constants are the same term exactly when
+they carry the same numeric value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+from ..domains import NumericLike, NumericValue, normalize_value
+from ..errors import QuerySyntaxError
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable, identified by its name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QuerySyntaxError("variable names must be non-empty")
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A numeric constant (integer or exact rational)."""
+
+    value: NumericValue
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", normalize_value(self.value))
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    @property
+    def as_fraction(self) -> Fraction:
+        return Fraction(self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+#: A term is a variable or a constant.
+Term = Union[Variable, Constant]
+
+
+def make_term(value: Union[Term, str, NumericLike]) -> Term:
+    """Coerce ``value`` into a term.
+
+    Strings become variables, numbers become constants, and existing terms are
+    returned unchanged.  This is the convenience entry point used by the
+    programmatic query builder.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        stripped = value.strip()
+        if not stripped:
+            raise QuerySyntaxError("empty string is not a valid term")
+        if _looks_numeric(stripped):
+            return Constant(_parse_numeric(stripped))
+        return Variable(stripped)
+    return Constant(normalize_value(value))
+
+
+def make_terms(values: Iterable[Union[Term, str, NumericLike]]) -> tuple[Term, ...]:
+    """Coerce every element of ``values`` into a term."""
+    return tuple(make_term(value) for value in values)
+
+
+def _looks_numeric(text: str) -> bool:
+    candidate = text[1:] if text[0] in "+-" else text
+    if not candidate:
+        return False
+    return candidate[0].isdigit() or candidate[0] == "."
+
+
+def _parse_numeric(text: str) -> NumericValue:
+    try:
+        if "/" in text:
+            return normalize_value(Fraction(text))
+        if "." in text or "e" in text or "E" in text:
+            return normalize_value(Fraction(text))
+        return int(text)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise QuerySyntaxError(f"cannot parse numeric constant {text!r}") from exc
+
+
+def substitute_term(term: Term, mapping: Mapping[Variable, Term]) -> Term:
+    """Apply a variable substitution to a single term."""
+    if isinstance(term, Variable):
+        return mapping.get(term, term)
+    return term
+
+
+def substitute_terms(terms: Iterable[Term], mapping: Mapping[Variable, Term]) -> tuple[Term, ...]:
+    """Apply a variable substitution to a tuple of terms."""
+    return tuple(substitute_term(term, mapping) for term in terms)
+
+
+def variables_of(terms: Iterable[Term]) -> set[Variable]:
+    """The set of variables occurring in ``terms``."""
+    return {term for term in terms if isinstance(term, Variable)}
+
+
+def constants_of(terms: Iterable[Term]) -> set[Constant]:
+    """The set of constants occurring in ``terms``."""
+    return {term for term in terms if isinstance(term, Constant)}

@@ -1,0 +1,113 @@
+"""Domains of database constants.
+
+The paper assumes that database constants are either integers or rational
+numbers (Section 3.2), and the interpretation of comparisons depends on whether
+they range over a *discrete* order (the integers) or a *dense* order (the
+rationals).  The :class:`Domain` enumeration captures this distinction, and the
+module provides helpers for validating and normalizing constant values.
+
+Rational values are represented with :class:`fractions.Fraction`, which keeps
+all arithmetic exact.  Integers are represented with Python ``int``.  Floats
+are accepted as input for convenience and converted to exact fractions.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Union
+
+from .errors import DomainError
+
+#: Values accepted as database constants.
+NumericValue = Union[int, Fraction]
+
+#: Values accepted as *input* where a constant is expected.
+NumericLike = Union[int, float, Fraction]
+
+
+class Domain(enum.Enum):
+    """The domain over which constants and comparisons are interpreted."""
+
+    INTEGERS = "integers"
+    RATIONALS = "rationals"
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether the order on the domain is dense (no gaps between values)."""
+        return self is Domain.RATIONALS
+
+    @property
+    def is_discrete(self) -> bool:
+        """Whether the order on the domain is discrete (the integers)."""
+        return self is Domain.INTEGERS
+
+    def contains(self, value: NumericValue) -> bool:
+        """Whether ``value`` is an element of this domain."""
+        if self is Domain.INTEGERS:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return True
+        return isinstance(value, Fraction)
+
+    def normalize(self, value: NumericLike) -> NumericValue:
+        """Convert ``value`` into the canonical representation for this domain.
+
+        Raises :class:`DomainError` if the value does not belong to the domain
+        (e.g. the fraction 1/2 over the integers).
+        """
+        canonical = normalize_value(value)
+        if self is Domain.INTEGERS:
+            if isinstance(canonical, Fraction):
+                if canonical.denominator != 1:
+                    raise DomainError(f"{value!r} is not an integer")
+                canonical = int(canonical)
+            return canonical
+        return canonical
+
+    def midpoint_exists(self, low: NumericValue, high: NumericValue) -> bool:
+        """Whether a value strictly between ``low`` and ``high`` exists."""
+        if low >= high:
+            return False
+        if self.is_dense:
+            return True
+        return high - low >= 2
+
+    def values_strictly_between(self, low: NumericValue, high: NumericValue) -> int | None:
+        """Number of domain values strictly between ``low`` and ``high``.
+
+        Returns ``None`` when there are infinitely many (dense domain with
+        ``low < high``); returns an integer count for the discrete domain.
+        """
+        if low >= high:
+            return 0
+        if self.is_dense:
+            return None
+        return max(0, int(high) - int(low) - 1)
+
+
+def normalize_value(value: NumericLike) -> NumericValue:
+    """Convert a numeric input into an ``int`` or an exact ``Fraction``.
+
+    Booleans are rejected (they are technically ``int`` subclasses but almost
+    always indicate a bug when used as database constants).
+    """
+    if isinstance(value, bool):
+        raise DomainError("booleans are not valid database constants")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return int(value)
+        return value
+    if isinstance(value, float):
+        frac = Fraction(value).limit_denominator(10**12)
+        if frac.denominator == 1:
+            return int(frac)
+        return frac
+    raise DomainError(f"{value!r} is not a valid numeric constant")
+
+
+def value_sort_key(value: NumericValue) -> Fraction:
+    """A total-order key usable to sort mixed ``int``/``Fraction`` values."""
+    return Fraction(value)

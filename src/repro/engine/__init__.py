@@ -1,0 +1,35 @@
+"""Query evaluation: concrete databases and symbolic databases S_L."""
+
+from .evaluator import (
+    LabeledAssignment,
+    evaluate,
+    evaluate_aggregate,
+    evaluate_bag_set,
+    evaluate_set,
+    group_assignments,
+    results_equal,
+    satisfying_assignments,
+)
+from .symbolic import (
+    SymbolicAssignment,
+    SymbolicDatabase,
+    symbolic_answer_multiset,
+    symbolic_groups,
+    symbolic_satisfying_assignments,
+)
+
+__all__ = [
+    "LabeledAssignment",
+    "SymbolicAssignment",
+    "SymbolicDatabase",
+    "evaluate",
+    "evaluate_aggregate",
+    "evaluate_bag_set",
+    "evaluate_set",
+    "group_assignments",
+    "results_equal",
+    "satisfying_assignments",
+    "symbolic_answer_multiset",
+    "symbolic_groups",
+    "symbolic_satisfying_assignments",
+]

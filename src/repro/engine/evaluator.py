@@ -1,0 +1,255 @@
+"""Evaluation of queries over concrete databases.
+
+This module implements the semantics of Sections 3.2 and 3.4 of the paper:
+
+* the set of satisfying assignments ``Γ(q, D)`` (with *labels* recording which
+  disjunct each assignment satisfies, so that an assignment satisfying several
+  disjuncts is counted once per disjunct),
+* non-aggregate evaluation under set semantics and under bag-set semantics
+  (Chaudhuri–Vardi), and
+* aggregate evaluation: grouping the satisfying assignments by the grouping
+  variables, restricting each group to the aggregation variables and applying
+  the aggregation function.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..aggregates.functions import AggregationFunction, get_function
+from ..datalog.atoms import Comparison, GroundAtom, RelationalAtom
+from ..datalog.conditions import Condition
+from ..datalog.database import Database
+from ..datalog.queries import Query
+from ..datalog.terms import Constant, Term, Variable
+from ..domains import NumericValue
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class LabeledAssignment:
+    """A satisfying assignment together with the disjunct it satisfies.
+
+    The paper's Γ(q, D) is a set of *labeled* assignments: the same variable
+    mapping appears once for every disjunct it satisfies (Section 3.4).
+    """
+
+    mapping: tuple[tuple[Variable, NumericValue], ...]
+    disjunct_index: int
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[Variable, NumericValue], disjunct_index: int):
+        ordered = tuple(sorted(mapping.items(), key=lambda item: item[0].name))
+        return cls(ordered, disjunct_index)
+
+    def as_dict(self) -> dict[Variable, NumericValue]:
+        return dict(self.mapping)
+
+    def value_of(self, term: Term) -> NumericValue:
+        if isinstance(term, Constant):
+            return term.value
+        for variable, value in self.mapping:
+            if variable == term:
+                return value
+        raise EvaluationError(f"assignment does not bind {term}")
+
+    def values_of(self, terms: Iterable[Term]) -> tuple[NumericValue, ...]:
+        return tuple(self.value_of(term) for term in terms)
+
+
+def satisfying_assignments(query: Query, database: Database) -> list[LabeledAssignment]:
+    """Γ(q, D): all labeled satisfying assignments of the query over the
+    database."""
+    results: list[LabeledAssignment] = []
+    for index, disjunct in enumerate(query.disjuncts):
+        for mapping in _assignments_for_condition(disjunct, database):
+            results.append(LabeledAssignment.from_dict(mapping, index))
+    return results
+
+
+def _assignments_for_condition(
+    condition: Condition, database: Database
+) -> Iterator[dict[Variable, NumericValue]]:
+    """Enumerate the assignments of the condition's variables satisfying it."""
+    positive = sorted(condition.positive_atoms, key=lambda atom: -atom.arity)
+    partial_assignments: list[dict[Variable, NumericValue]] = [{}]
+    for atom in positive:
+        relation = database.relation(atom.predicate)
+        extended: list[dict[Variable, NumericValue]] = []
+        for partial in partial_assignments:
+            for row in relation:
+                match = _match_atom(atom, row, partial)
+                if match is not None:
+                    extended.append(match)
+        partial_assignments = extended
+        if not partial_assignments:
+            return
+    # Resolve variables bound only through equality comparisons.
+    for partial in partial_assignments:
+        for resolved in _resolve_equalities(condition, partial):
+            if _check_residual_literals(condition, resolved, database):
+                yield resolved
+
+
+def _match_atom(
+    atom: RelationalAtom, row: tuple, partial: Mapping[Variable, NumericValue]
+) -> Optional[dict[Variable, NumericValue]]:
+    if len(row) != atom.arity:
+        return None
+    extended = dict(partial)
+    for argument, value in zip(atom.arguments, row):
+        if isinstance(argument, Constant):
+            if argument.value != value:
+                return None
+        else:
+            bound = extended.get(argument)
+            if bound is None:
+                extended[argument] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+def _resolve_equalities(
+    condition: Condition, partial: dict[Variable, NumericValue]
+) -> Iterator[dict[Variable, NumericValue]]:
+    """Bind variables that only occur in equality comparisons (safety allows
+    a variable to be defined by equating it with a bound variable or a
+    constant)."""
+    resolved = dict(partial)
+    pending = [c for c in condition.comparisons if c.is_equality]
+    progress = True
+    while progress and pending:
+        progress = False
+        remaining = []
+        for comparison in pending:
+            left_value = _maybe_value(comparison.left, resolved)
+            right_value = _maybe_value(comparison.right, resolved)
+            if left_value is not None and right_value is None and isinstance(comparison.right, Variable):
+                resolved[comparison.right] = left_value
+                progress = True
+            elif right_value is not None and left_value is None and isinstance(comparison.left, Variable):
+                resolved[comparison.left] = right_value
+                progress = True
+            else:
+                remaining.append(comparison)
+        pending = remaining
+    missing = condition.variables() - set(resolved)
+    if missing:
+        # Unsafe conditions are rejected at construction time, so reaching this
+        # point means an equality chain could not be resolved; no assignment.
+        return
+    yield resolved
+
+
+def _maybe_value(term: Term, assignment: Mapping[Variable, NumericValue]) -> Optional[NumericValue]:
+    if isinstance(term, Constant):
+        return term.value
+    return assignment.get(term)
+
+
+def _check_residual_literals(
+    condition: Condition, assignment: Mapping[Variable, NumericValue], database: Database
+) -> bool:
+    for atom in condition.negated_atoms:
+        values = tuple(_require_value(argument, assignment) for argument in atom.arguments)
+        if database.contains(atom.predicate, values):
+            return False
+    for comparison in condition.comparisons:
+        left = _require_value(comparison.left, assignment)
+        right = _require_value(comparison.right, assignment)
+        if not comparison.op.holds(_as_fraction(left), _as_fraction(right)):
+            return False
+    # Positive atoms with repeated constants or variables were checked during
+    # matching, but a positive atom whose variables are all bound elsewhere
+    # must still be verified when the relation is empty.
+    for atom in condition.positive_atoms:
+        values = tuple(_require_value(argument, assignment) for argument in atom.arguments)
+        if not database.contains(atom.predicate, values):
+            return False
+    return True
+
+
+def _require_value(term: Term, assignment: Mapping[Variable, NumericValue]) -> NumericValue:
+    value = _maybe_value(term, assignment)
+    if value is None:
+        raise EvaluationError(f"unbound term {term} during evaluation")
+    return value
+
+
+def _as_fraction(value: NumericValue):
+    from fractions import Fraction
+
+    return Fraction(value)
+
+
+# ----------------------------------------------------------------------
+# Non-aggregate semantics
+# ----------------------------------------------------------------------
+def evaluate_set(query: Query, database: Database) -> set[tuple]:
+    """Set semantics: the relation q^D of Equation (1)."""
+    results: set[tuple] = set()
+    for assignment in satisfying_assignments(query, database):
+        results.add(assignment.values_of(query.head_terms))
+    return results
+
+
+def evaluate_bag_set(query: Query, database: Database) -> Counter:
+    """Bag-set semantics: each answer tuple with its multiplicity."""
+    results: Counter = Counter()
+    for assignment in satisfying_assignments(query, database):
+        results[assignment.values_of(query.head_terms)] += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# Aggregate semantics
+# ----------------------------------------------------------------------
+def group_assignments(
+    query: Query, database: Database
+) -> dict[tuple, list[LabeledAssignment]]:
+    """Γ_d̄(q, D) for every group tuple d̄ produced by the query."""
+    groups: dict[tuple, list[LabeledAssignment]] = {}
+    for assignment in satisfying_assignments(query, database):
+        key = assignment.values_of(query.head_terms)
+        groups.setdefault(key, []).append(assignment)
+    return groups
+
+
+def evaluate_aggregate(
+    query: Query,
+    database: Database,
+    function: Optional[AggregationFunction] = None,
+) -> dict[tuple, object]:
+    """Aggregate semantics (Section 3.4): a mapping from each group tuple d̄
+    to the aggregate value α(ȳ) ↓ Γ_d̄(q, D)."""
+    if query.aggregate is None:
+        raise EvaluationError("evaluate_aggregate requires an aggregate query")
+    if function is None:
+        function = get_function(query.aggregate.function)
+    aggregation_variables = query.aggregation_variables()
+    results: dict[tuple, object] = {}
+    for key, assignments in group_assignments(query, database).items():
+        bag = [assignment.values_of(aggregation_variables) for assignment in assignments]
+        results[key] = function.apply(bag)
+    return results
+
+
+def evaluate(query: Query, database: Database):
+    """Evaluate a query with the semantics appropriate to its shape.
+
+    Aggregate queries return a ``dict`` from group tuples to aggregate values;
+    non-aggregate queries return the set of answer tuples.
+    """
+    if query.is_aggregate:
+        return evaluate_aggregate(query, database)
+    return evaluate_set(query, database)
+
+
+def results_equal(query: Query, other: Query, database: Database) -> bool:
+    """Whether two queries return identical results over the database."""
+    if query.is_aggregate != other.is_aggregate:
+        raise EvaluationError("cannot compare an aggregate query with a non-aggregate query")
+    return evaluate(query, database) == evaluate(other, database)

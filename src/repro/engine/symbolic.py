@@ -1,0 +1,266 @@
+"""Symbolic evaluation over databases of the form S_L (Theorem 4.8).
+
+The bounded-equivalence procedure does not enumerate concrete databases
+(there are infinitely many); instead it enumerates subsets ``S`` of the finite
+atom universe BASE together with a complete ordering ``L`` of the term set
+``T``, and evaluates the queries *symbolically* over the pair ``S_L``:
+variables of the query are mapped to terms of ``T`` rather than to values,
+comparisons are decided by ``L``, and groups collect *bags of term tuples*
+whose equality is then settled by the ordered-identity deciders.
+
+Terms that ``L`` makes equal are identified by mapping every term to the
+representative of its block, so a subset ``S`` paired with an ordering that
+equates terms behaves exactly like its instantiation with a non-injective
+assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Mapping, Optional
+
+from ..datalog.atoms import RelationalAtom
+from ..datalog.conditions import Condition
+from ..datalog.database import Database
+from ..datalog.queries import Query
+from ..datalog.terms import Constant, Term, Variable
+from ..errors import EvaluationError
+from ..orderings.complete_orderings import CompleteOrdering
+
+
+@dataclass(frozen=True)
+class SymbolicDatabase:
+    """A subset of BASE together with a complete ordering of the term set."""
+
+    atoms: frozenset[RelationalAtom]
+    ordering: CompleteOrdering
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", frozenset(self.atoms))
+        for atom in self.atoms:
+            if atom.negated:
+                raise EvaluationError("symbolic databases contain positive atoms only")
+
+    def canonical(self, term: Term) -> Term:
+        """The representative of the term's block under the ordering."""
+        return self.ordering.representative(self.ordering.block_index(term))
+
+    @cached_property
+    def canonical_relations(self) -> dict[str, frozenset[tuple[Term, ...]]]:
+        """The atoms of the database with every term replaced by its block
+        representative, grouped by predicate."""
+        relations: dict[str, set[tuple[Term, ...]]] = {}
+        for atom in self.atoms:
+            row = tuple(self.canonical(argument) for argument in atom.arguments)
+            relations.setdefault(atom.predicate, set()).add(row)
+        return {predicate: frozenset(rows) for predicate, rows in relations.items()}
+
+    @cached_property
+    def carrier_terms(self) -> frozenset[Term]:
+        """The block representatives occurring in the database — the symbolic
+        counterpart of the carrier of the instantiated database."""
+        carrier: set[Term] = set()
+        for rows in self.canonical_relations.values():
+            for row in rows:
+                carrier.update(row)
+        return frozenset(carrier)
+
+    def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
+        return self.canonical_relations.get(predicate, frozenset())
+
+    def contains(self, predicate: str, row: tuple[Term, ...]) -> bool:
+        return row in self.canonical_relations.get(predicate, frozenset())
+
+    def instantiate(self) -> Database:
+        """A concrete database δ(S) for the canonical satisfying assignment δ
+        of the ordering."""
+        assignment = self.ordering.instantiate()
+        facts = []
+        for atom in self.atoms:
+            values = tuple(
+                argument.value if isinstance(argument, Constant) else assignment[argument]
+                for argument in atom.arguments
+            )
+            facts.append((atom.predicate, values))
+        return Database(facts)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+
+@dataclass(frozen=True)
+class SymbolicAssignment:
+    """An assignment of query variables to block representatives, labeled with
+    the disjunct it satisfies."""
+
+    mapping: tuple[tuple[Variable, Term], ...]
+    disjunct_index: int
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[Variable, Term], disjunct_index: int):
+        ordered = tuple(sorted(mapping.items(), key=lambda item: item[0].name))
+        return cls(ordered, disjunct_index)
+
+    def as_dict(self) -> dict[Variable, Term]:
+        return dict(self.mapping)
+
+    def term_of(self, term: Term, database: SymbolicDatabase) -> Term:
+        if isinstance(term, Constant):
+            return database.canonical(term)
+        for variable, value in self.mapping:
+            if variable == term:
+                return value
+        raise EvaluationError(f"symbolic assignment does not bind {term}")
+
+    def terms_of(self, terms, database: SymbolicDatabase) -> tuple[Term, ...]:
+        return tuple(self.term_of(term, database) for term in terms)
+
+
+def symbolic_satisfying_assignments(
+    query: Query, database: SymbolicDatabase
+) -> list[SymbolicAssignment]:
+    """The symbolic counterpart of Γ(q, S_L)."""
+    results: list[SymbolicAssignment] = []
+    for index, disjunct in enumerate(query.disjuncts):
+        for mapping in _symbolic_assignments_for_condition(disjunct, database):
+            results.append(SymbolicAssignment.from_dict(mapping, index))
+    return results
+
+
+def _symbolic_assignments_for_condition(
+    condition: Condition, database: SymbolicDatabase
+) -> Iterator[dict[Variable, Term]]:
+    positive = sorted(condition.positive_atoms, key=lambda atom: -atom.arity)
+    partial_assignments: list[dict[Variable, Term]] = [{}]
+    for atom in positive:
+        relation = database.relation(atom.predicate)
+        extended: list[dict[Variable, Term]] = []
+        for partial in partial_assignments:
+            for row in relation:
+                match = _match_symbolic_atom(atom, row, partial, database)
+                if match is not None:
+                    extended.append(match)
+        partial_assignments = extended
+        if not partial_assignments:
+            return
+    for partial in partial_assignments:
+        resolved = _resolve_symbolic_equalities(condition, partial, database)
+        if resolved is None:
+            continue
+        if _check_symbolic_residual(condition, resolved, database):
+            yield resolved
+
+
+def _match_symbolic_atom(
+    atom: RelationalAtom,
+    row: tuple[Term, ...],
+    partial: Mapping[Variable, Term],
+    database: SymbolicDatabase,
+) -> Optional[dict[Variable, Term]]:
+    if len(row) != atom.arity:
+        return None
+    extended = dict(partial)
+    for argument, value in zip(atom.arguments, row):
+        if isinstance(argument, Constant):
+            if database.canonical(argument) != value:
+                return None
+        else:
+            bound = extended.get(argument)
+            if bound is None:
+                extended[argument] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+def _resolve_symbolic_equalities(
+    condition: Condition, partial: dict[Variable, Term], database: SymbolicDatabase
+) -> Optional[dict[Variable, Term]]:
+    resolved = dict(partial)
+    pending = [c for c in condition.comparisons if c.is_equality]
+    progress = True
+    while progress and pending:
+        progress = False
+        remaining = []
+        for comparison in pending:
+            left = _maybe_symbolic(comparison.left, resolved, database)
+            right = _maybe_symbolic(comparison.right, resolved, database)
+            if left is not None and right is None and isinstance(comparison.right, Variable):
+                resolved[comparison.right] = left
+                progress = True
+            elif right is not None and left is None and isinstance(comparison.left, Variable):
+                resolved[comparison.left] = right
+                progress = True
+            else:
+                remaining.append(comparison)
+        pending = remaining
+    if condition.variables() - set(resolved):
+        return None
+    return resolved
+
+
+def _maybe_symbolic(
+    term: Term, assignment: Mapping[Variable, Term], database: SymbolicDatabase
+) -> Optional[Term]:
+    if isinstance(term, Constant):
+        return database.canonical(term)
+    return assignment.get(term)
+
+
+def _check_symbolic_residual(
+    condition: Condition, assignment: Mapping[Variable, Term], database: SymbolicDatabase
+) -> bool:
+    ordering = database.ordering
+    for atom in condition.negated_atoms:
+        row = tuple(_require_symbolic(argument, assignment, database) for argument in atom.arguments)
+        if database.contains(atom.predicate, row):
+            return False
+    for comparison in condition.comparisons:
+        left = _require_symbolic(comparison.left, assignment, database)
+        right = _require_symbolic(comparison.right, assignment, database)
+        if not ordering.satisfies(type(comparison)(left, comparison.op, right)):
+            return False
+    for atom in condition.positive_atoms:
+        row = tuple(_require_symbolic(argument, assignment, database) for argument in atom.arguments)
+        if not database.contains(atom.predicate, row):
+            return False
+    return True
+
+
+def _require_symbolic(
+    term: Term, assignment: Mapping[Variable, Term], database: SymbolicDatabase
+) -> Term:
+    value = _maybe_symbolic(term, assignment, database)
+    if value is None:
+        raise EvaluationError(f"unbound term {term} during symbolic evaluation")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Groups and result signatures
+# ----------------------------------------------------------------------
+def symbolic_groups(
+    query: Query, database: SymbolicDatabase
+) -> dict[tuple[Term, ...], list[tuple[Term, ...]]]:
+    """For every symbolic group key d̄ (a tuple of block representatives), the
+    bag of aggregation-variable tuples collected for that group."""
+    aggregation_variables = query.aggregation_variables()
+    groups: dict[tuple[Term, ...], list[tuple[Term, ...]]] = {}
+    for assignment in symbolic_satisfying_assignments(query, database):
+        key = assignment.terms_of(query.head_terms, database)
+        bag_element = assignment.terms_of(aggregation_variables, database)
+        groups.setdefault(key, []).append(bag_element)
+    return groups
+
+
+def symbolic_answer_multiset(
+    query: Query, database: SymbolicDatabase
+) -> dict[tuple[Term, ...], int]:
+    """For non-aggregate queries: the answer tuples with multiplicities
+    (bag-set semantics, used by the bag-set equivalence reduction)."""
+    result: dict[tuple[Term, ...], int] = {}
+    for assignment in symbolic_satisfying_assignments(query, database):
+        key = assignment.terms_of(query.head_terms, database)
+        result[key] = result.get(key, 0) + 1
+    return result

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch every failure mode of the package with a single ``except`` clause while
+still being able to distinguish the individual conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised when parsing a query (Datalog or SQL) fails."""
+
+    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+        self.text = text
+        self.position = position
+        if text is not None and position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class UnsafeQueryError(ReproError):
+    """Raised when a query violates the safety requirement.
+
+    A condition is safe when every variable occurring in it appears in a
+    positive relational atom or is equated with such a variable (Section 3.1
+    of the paper).  Unsafe queries do not have a well-defined semantics over
+    infinite domains, so they are rejected at construction time.
+    """
+
+
+class MalformedQueryError(ReproError):
+    """Raised when a query violates a structural requirement.
+
+    Examples: a grouping variable that also occurs among the aggregation
+    variables, or a disjunct that does not contain all head variables
+    (Section 3.3 of the paper).
+    """
+
+
+class DomainError(ReproError):
+    """Raised when a value does not belong to the declared domain."""
+
+
+class UnsupportedAggregateError(ReproError):
+    """Raised when an operation is requested for an aggregation function that
+    does not support it (e.g. deciding ordered identities for a function that
+    is not order-decidable over the requested domain)."""
+
+
+class UndecidableError(ReproError):
+    """Raised when a decision procedure is asked to solve an instance that
+    falls outside the decidable fragment established by the paper."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluating a query over a database fails."""
+
+
+class UnsatisfiableOrderingError(ReproError):
+    """Raised when an operation requires a satisfiable ordering but the given
+    conjunction of comparisons is unsatisfiable over the requested domain."""

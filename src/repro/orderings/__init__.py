@@ -1,0 +1,15 @@
+"""Order constraints and complete orderings (Sections 3.2 and 4.2)."""
+
+from .complete_orderings import (
+    CompleteOrdering,
+    count_complete_orderings,
+    enumerate_complete_orderings,
+)
+from .constraints import ComparisonSystem
+
+__all__ = [
+    "ComparisonSystem",
+    "CompleteOrdering",
+    "count_complete_orderings",
+    "enumerate_complete_orderings",
+]

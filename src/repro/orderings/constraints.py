@@ -1,0 +1,395 @@
+"""Satisfiability and entailment for conjunctions of comparisons.
+
+The paper interprets comparisons either over a *dense* order (the rational
+numbers) or a *discrete* order (the integers); a conjunction such as
+``0 < y ∧ y < z ∧ z < 2`` is satisfiable over Q but not over Z (Section 3.2).
+This module provides :class:`ComparisonSystem`, a small decision procedure for
+such conjunctions that supports
+
+* satisfiability over Z and over Q,
+* entailment of a comparison (``L |=_I t ρ t'``, Section 4.2),
+* detection of entailed equalities and of variables pinned to a constant
+  (used for query *reduction*, Sections 4.2 and 7),
+* construction of concrete satisfying assignments.
+
+The implementation is the classical difference-constraint graph.  Every term is
+a node; a comparison ``s - t ≤ c`` becomes an edge of weight ``c``.  Over the
+integers a strict comparison ``s < t`` is the difference constraint
+``s - t ≤ -1``; over the rationals strictness is tracked with an infinitesimal
+component, i.e. weights are pairs ``(c, k)`` representing ``c + k·ε`` ordered
+lexicographically.  Constants are tied to a distinguished origin node.
+Disequalities are handled by case splitting (each ``≠`` becomes ``<`` or
+``>``), which is exponential only in the number of ``≠`` literals — small in
+practice for the queries the paper considers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..datalog.atoms import Comparison, ComparisonOp
+from ..datalog.terms import Constant, Term, Variable
+from ..domains import Domain, NumericValue
+from ..errors import UnsatisfiableOrderingError
+
+#: Sentinel node representing the value 0, to which constants are anchored.
+_ORIGIN = object()
+
+#: Weight type: (rational part, infinitesimal part).  The bound expressed is
+#: ``value + eps·ε`` for an arbitrarily small positive ε.
+_Weight = tuple[Fraction, int]
+
+_ZERO: _Weight = (Fraction(0), 0)
+
+
+def _weight_add(a: _Weight, b: _Weight) -> _Weight:
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _weight_less(a: _Weight, b: _Weight) -> bool:
+    return a < b
+
+
+@dataclass(frozen=True)
+class _Scenario:
+    """One case of the disequality split: a list of (left, op, right) edges."""
+
+    comparisons: tuple[Comparison, ...]
+
+
+class ComparisonSystem:
+    """A conjunction of comparisons interpreted over a fixed domain."""
+
+    def __init__(self, comparisons: Iterable[Comparison] = (), domain: Domain = Domain.RATIONALS):
+        self.domain = domain
+        self._comparisons: list[Comparison] = list(comparisons)
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, comparison: Comparison) -> None:
+        self._comparisons.append(comparison)
+        self._cache.clear()
+
+    def extend(self, comparisons: Iterable[Comparison]) -> None:
+        self._comparisons.extend(comparisons)
+        self._cache.clear()
+
+    def with_extra(self, comparisons: Iterable[Comparison]) -> "ComparisonSystem":
+        return ComparisonSystem(self._comparisons + list(comparisons), self.domain)
+
+    @property
+    def comparisons(self) -> tuple[Comparison, ...]:
+        return tuple(self._comparisons)
+
+    def terms(self) -> set[Term]:
+        result: set[Term] = set()
+        for comparison in self._comparisons:
+            result.add(comparison.left)
+            result.add(comparison.right)
+        return result
+
+    def variables(self) -> set[Variable]:
+        return {term for term in self.terms() if isinstance(term, Variable)}
+
+    # ------------------------------------------------------------------
+    # Satisfiability
+    # ------------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Whether some assignment of domain values to variables satisfies all
+        comparisons."""
+        if "sat" not in self._cache:
+            self._cache["sat"] = self._find_feasible_scenario() is not None
+        return self._cache["sat"]
+
+    def _find_feasible_scenario(self) -> Optional[tuple[_Scenario, dict]]:
+        for scenario in _split_disequalities(self._comparisons):
+            matrix = _solve_scenario(scenario, self.domain)
+            if matrix is not None:
+                return scenario, matrix
+        return None
+
+    # ------------------------------------------------------------------
+    # Entailment
+    # ------------------------------------------------------------------
+    def entails(self, comparison: Comparison) -> bool:
+        """Whether every satisfying assignment also satisfies ``comparison``.
+
+        An unsatisfiable system entails everything (vacuous truth); callers
+        that care should check :meth:`is_satisfiable` separately.
+        """
+        key = ("entails", comparison)
+        if key not in self._cache:
+            negated_system = self.with_extra([comparison.negate()])
+            self._cache[key] = not negated_system.is_satisfiable()
+        return self._cache[key]
+
+    def entailed_relation(self, left: Term, right: Term) -> Optional[ComparisonOp]:
+        """The strongest of ``<``, ``=``, ``>`` entailed between two terms, or
+        ``None`` when the system does not determine their relative order."""
+        if self.entails(Comparison(left, ComparisonOp.EQ, right)):
+            return ComparisonOp.EQ
+        if self.entails(Comparison(left, ComparisonOp.LT, right)):
+            return ComparisonOp.LT
+        if self.entails(Comparison(left, ComparisonOp.GT, right)):
+            return ComparisonOp.GT
+        return None
+
+    def is_complete_ordering_of(self, terms: Iterable[Term]) -> bool:
+        """Whether the system is a *complete ordering* of ``terms``: for every
+        pair exactly one of ``<``, ``=``, ``>`` is entailed (Section 4.2).
+
+        Complete orderings are satisfiable by definition.
+        """
+        if not self.is_satisfiable():
+            return False
+        term_list = list(dict.fromkeys(terms))
+        for first, second in itertools.combinations(term_list, 2):
+            if self.entailed_relation(first, second) is None:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reduction helpers
+    # ------------------------------------------------------------------
+    def entailed_equalities(self) -> list[tuple[Term, Term]]:
+        """Pairs of syntactically distinct terms forced to be equal."""
+        result = []
+        terms = sorted(self.terms(), key=_term_sort_key)
+        for first, second in itertools.combinations(terms, 2):
+            if self.entails(Comparison(first, ComparisonOp.EQ, second)):
+                result.append((first, second))
+        return result
+
+    def pinned_constants(self) -> dict[Variable, NumericValue]:
+        """Variables forced to a single domain value.
+
+        Over the integers this captures cases such as ``3 < x ∧ x < 5`` which
+        force ``x = 4``; over the rationals only explicit equalities with
+        constants pin a variable.
+        """
+        feasible = self._find_feasible_scenario()
+        if feasible is None:
+            return {}
+        _, matrix = feasible
+        pinned: dict[Variable, NumericValue] = {}
+        for variable in self.variables():
+            if variable not in matrix["nodes"]:
+                continue
+            upper = matrix["dist"].get((variable, _ORIGIN))
+            lower = matrix["dist"].get((_ORIGIN, variable))
+            if upper is None or lower is None:
+                continue
+            if upper[1] != 0 or lower[1] != 0:
+                continue
+            if upper[0] == -lower[0]:
+                candidate = upper[0]
+                if self.domain.is_discrete and candidate.denominator != 1:
+                    continue
+                value: NumericValue = (
+                    int(candidate) if candidate.denominator == 1 else candidate
+                )
+                # Confirm across all disequality scenarios.
+                if self.entails(Comparison(variable, ComparisonOp.EQ, Constant(value))):
+                    pinned[variable] = value
+        return pinned
+
+    # ------------------------------------------------------------------
+    # Model construction
+    # ------------------------------------------------------------------
+    def satisfying_assignment(self) -> dict[Term, NumericValue]:
+        """A concrete assignment of domain values satisfying every comparison.
+
+        Raises :class:`UnsatisfiableOrderingError` when none exists.  Constants
+        are always mapped to themselves.
+        """
+        feasible = self._find_feasible_scenario()
+        if feasible is None:
+            raise UnsatisfiableOrderingError(
+                f"no satisfying assignment over {self.domain.value} for: "
+                + ", ".join(str(c) for c in self._comparisons)
+            )
+        scenario, matrix = feasible
+        assignment = _extract_assignment(scenario, matrix, self.domain)
+        # Verify (defensive: the ε-selection loop should always succeed).
+        for comparison in self._comparisons:
+            if not _holds_under(comparison, assignment):
+                raise UnsatisfiableOrderingError(
+                    f"internal error: constructed assignment violates {comparison}"
+                )
+        return assignment
+
+    def __str__(self) -> str:
+        return " , ".join(str(c) for c in self._comparisons) or "true"
+
+    def __repr__(self) -> str:
+        return f"ComparisonSystem({str(self)!r}, domain={self.domain.value})"
+
+
+# ----------------------------------------------------------------------
+# Internal machinery
+# ----------------------------------------------------------------------
+def _term_sort_key(term: Term):
+    if isinstance(term, Constant):
+        return (0, Fraction(term.value), "")
+    return (1, Fraction(0), term.name)
+
+
+def _split_disequalities(comparisons: Sequence[Comparison]) -> Iterator[_Scenario]:
+    """Yield scenarios where each ``≠`` is replaced by ``<`` or ``>``."""
+    base: list[Comparison] = []
+    disequalities: list[Comparison] = []
+    for comparison in comparisons:
+        if comparison.op is ComparisonOp.NE:
+            disequalities.append(comparison)
+        else:
+            base.append(comparison)
+    if not disequalities:
+        yield _Scenario(tuple(base))
+        return
+    for choices in itertools.product((ComparisonOp.LT, ComparisonOp.GT), repeat=len(disequalities)):
+        resolved = list(base)
+        for comparison, op in zip(disequalities, choices):
+            resolved.append(Comparison(comparison.left, op, comparison.right))
+        yield _Scenario(tuple(resolved))
+
+
+def _edges_for(comparison: Comparison, domain: Domain) -> list[tuple[Term, Term, _Weight]]:
+    """Difference-constraint edges (u, v, w) meaning x_u - x_v ≤ w."""
+    left, op, right = comparison.left, comparison.op, comparison.right
+    strict: _Weight = (Fraction(-1), 0) if domain.is_discrete else (Fraction(0), -1)
+    nonstrict: _Weight = _ZERO
+    if op is ComparisonOp.EQ:
+        return [(left, right, nonstrict), (right, left, nonstrict)]
+    if op is ComparisonOp.LE:
+        return [(left, right, nonstrict)]
+    if op is ComparisonOp.GE:
+        return [(right, left, nonstrict)]
+    if op is ComparisonOp.LT:
+        return [(left, right, strict)]
+    if op is ComparisonOp.GT:
+        return [(right, left, strict)]
+    raise ValueError(f"disequalities must be split before building edges: {comparison}")
+
+
+def _solve_scenario(scenario: _Scenario, domain: Domain) -> Optional[dict]:
+    """Run Floyd–Warshall on the scenario's difference constraints.
+
+    Returns ``None`` when infeasible, otherwise a dict with the node list and
+    the (sparse) all-pairs tightest-bound matrix.
+    """
+    nodes: set = {_ORIGIN}
+    edges: dict[tuple, _Weight] = {}
+
+    def add_edge(u, v, w: _Weight) -> None:
+        if u == v:
+            if _weight_less(w, _ZERO):
+                edges[(u, v)] = w
+            return
+        key = (u, v)
+        current = edges.get(key)
+        if current is None or _weight_less(w, current):
+            edges[key] = w
+
+    for comparison in scenario.comparisons:
+        for u, v, w in _edges_for(comparison, domain):
+            nodes.add(u)
+            nodes.add(v)
+            add_edge(u, v, w)
+    # Anchor constants to the origin.
+    for node in list(nodes):
+        if isinstance(node, Constant):
+            value = Fraction(node.value)
+            add_edge(node, _ORIGIN, (value, 0))
+            add_edge(_ORIGIN, node, (-value, 0))
+
+    node_list = list(nodes)
+    dist: dict[tuple, _Weight] = dict(edges)
+    for node in node_list:
+        key = (node, node)
+        if key not in dist:
+            dist[key] = _ZERO
+        elif _weight_less(dist[key], _ZERO):
+            return None
+    for k in node_list:
+        for i in node_list:
+            ik = dist.get((i, k))
+            if ik is None:
+                continue
+            for j in node_list:
+                kj = dist.get((k, j))
+                if kj is None:
+                    continue
+                candidate = _weight_add(ik, kj)
+                current = dist.get((i, j))
+                if current is None or _weight_less(candidate, current):
+                    dist[(i, j)] = candidate
+    for node in node_list:
+        if _weight_less(dist[(node, node)], _ZERO):
+            return None
+    return {"nodes": set(node_list), "dist": dist}
+
+
+def _extract_assignment(scenario: _Scenario, matrix: dict, domain: Domain) -> dict[Term, NumericValue]:
+    """Build a concrete satisfying assignment from the solved scenario."""
+    nodes = sorted(matrix["nodes"], key=lambda n: ("" if n is _ORIGIN else str(n)))
+    dist = matrix["dist"]
+    # Potential of each node relative to a virtual source bounding everything
+    # from above by 0: x_u = min(0, min_v (w(u,v) + x_v)) computed by value
+    # iteration (Bellman-Ford on the reversed constraint graph).
+    potential: dict = {node: _ZERO for node in nodes}
+    edges = [(u, v, w) for (u, v), w in dist.items() if u != v]
+    for _ in range(len(nodes) + 1):
+        changed = False
+        for u, v, w in edges:
+            candidate = _weight_add(w, potential[v])
+            if _weight_less(candidate, potential[u]):
+                potential[u] = candidate
+                changed = True
+        if not changed:
+            break
+    origin_potential = potential[_ORIGIN]
+    shifted = {
+        node: (value[0] - origin_potential[0], value[1] - origin_potential[1])
+        for node, value in potential.items()
+    }
+
+    candidate_epsilons = [Fraction(1, 2**k) for k in range(0, 40)]
+    for epsilon in candidate_epsilons:
+        assignment: dict[Term, NumericValue] = {}
+        ok = True
+        for node, (value, eps_count) in shifted.items():
+            if node is _ORIGIN:
+                continue
+            concrete = value + eps_count * epsilon
+            if isinstance(node, Constant):
+                assignment[node] = node.value
+                continue
+            if domain.is_discrete:
+                if concrete.denominator != 1:
+                    ok = False
+                    break
+                assignment[node] = int(concrete)
+            else:
+                assignment[node] = int(concrete) if concrete.denominator == 1 else concrete
+        if not ok:
+            continue
+        if all(_holds_under(comparison, assignment) for comparison in scenario.comparisons):
+            return assignment
+    raise UnsatisfiableOrderingError("failed to extract a concrete satisfying assignment")
+
+
+def _holds_under(comparison: Comparison, assignment: dict[Term, NumericValue]) -> bool:
+    left = _value_of(comparison.left, assignment)
+    right = _value_of(comparison.right, assignment)
+    return comparison.op.holds(Fraction(left), Fraction(right))
+
+
+def _value_of(term: Term, assignment: dict[Term, NumericValue]) -> NumericValue:
+    if isinstance(term, Constant):
+        return term.value
+    return assignment[term]

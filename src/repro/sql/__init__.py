@@ -1,0 +1,28 @@
+"""SQL frontend: a small SELECT/GROUP BY/NOT EXISTS fragment translated into
+the paper's query class (the data-warehouse motivation of the introduction)."""
+
+from .ast import (
+    AggregateExpr,
+    ColumnRef,
+    Literal,
+    NotExists,
+    SelectStatement,
+    SqlComparison,
+    TableRef,
+)
+from .parser import parse_sql
+from .translate import Schema, SqlTranslator, sql_to_query
+
+__all__ = [
+    "AggregateExpr",
+    "ColumnRef",
+    "Literal",
+    "NotExists",
+    "Schema",
+    "SelectStatement",
+    "SqlComparison",
+    "SqlTranslator",
+    "TableRef",
+    "parse_sql",
+    "sql_to_query",
+]

@@ -1,0 +1,118 @@
+"""Abstract syntax for the SQL subset understood by the frontend.
+
+The supported fragment corresponds to the query class of the paper: single
+SELECT blocks with inner joins expressed in the WHERE clause, comparisons
+against columns or constants, ``NOT EXISTS`` subqueries over a single table
+(negated subgoals), one aggregate in the SELECT list, and GROUP BY.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..domains import NumericValue
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to a column, optionally qualified by a table or alias."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric literal."""
+
+    value: NumericValue
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+#: Operands of comparisons: column references or numeric literals.
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class SqlComparison:
+    """``left op right`` in a WHERE clause (op ∈ =, <, <=, >, >=, <>, !=)."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause, with an optional alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.table
+
+    def __str__(self) -> str:
+        return f"{self.table} AS {self.alias}" if self.alias else self.table
+
+
+@dataclass(frozen=True)
+class NotExists:
+    """``NOT EXISTS (SELECT * FROM table WHERE ...)`` — a negated subgoal."""
+
+    table: TableRef
+    conditions: tuple[SqlComparison, ...] = ()
+
+    def __str__(self) -> str:
+        inner = " AND ".join(str(condition) for condition in self.conditions)
+        where = f" WHERE {inner}" if inner else ""
+        return f"NOT EXISTS (SELECT * FROM {self.table}{where})"
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """An aggregate expression in the SELECT list, e.g. ``SUM(amount)``."""
+
+    function: str
+    argument: Optional[ColumnRef]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = str(self.argument) if self.argument else "*"
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.function.upper()}({prefix}{inner})"
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    columns: list[ColumnRef] = field(default_factory=list)
+    aggregate: Optional[AggregateExpr] = None
+    tables: list[TableRef] = field(default_factory=list)
+    comparisons: list[SqlComparison] = field(default_factory=list)
+    not_exists: list[NotExists] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        select_items = [str(column) for column in self.columns]
+        if self.aggregate is not None:
+            select_items.append(str(self.aggregate))
+        parts = [f"SELECT {', '.join(select_items)}"]
+        parts.append(f"FROM {', '.join(str(table) for table in self.tables)}")
+        conditions = [str(c) for c in self.comparisons] + [str(n) for n in self.not_exists]
+        if conditions:
+            parts.append(f"WHERE {' AND '.join(conditions)}")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(str(column) for column in self.group_by)}")
+        return " ".join(parts)

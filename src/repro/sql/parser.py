@@ -1,0 +1,254 @@
+"""A parser for the SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    statement   := SELECT select_list FROM table_list [WHERE condition_list]
+                   [GROUP BY column_list]
+    select_list := select_item ("," select_item)*
+    select_item := column | AGG "(" [DISTINCT] column ")" | COUNT "(" "*" ")"
+    table_list  := table [AS alias] ("," table [AS alias])*
+    condition   := operand op operand
+                 | NOT EXISTS "(" SELECT "*" FROM table [AS alias]
+                                  [WHERE condition_list] ")"
+    operand     := column | number
+    column      := name | name "." name
+
+Only features with a counterpart in the paper's query class are supported; the
+parser raises :class:`QuerySyntaxError` with a precise message otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Optional
+
+from ..errors import QuerySyntaxError
+from .ast import (
+    AggregateExpr,
+    ColumnRef,
+    Literal,
+    NotExists,
+    Operand,
+    SelectStatement,
+    SqlComparison,
+    TableRef,
+)
+
+_SQL_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[(),.*])
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATE_KEYWORDS = {"count", "sum", "avg", "min", "max", "prod", "top2", "parity"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _SQL_TOKEN.match(text, position)
+            if match is None:
+                raise QuerySyntaxError("unexpected character in SQL", text, position)
+            if match.lastgroup != "ws":
+                self.items.append((match.lastgroup or "", match.group(), position))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[tuple[str, str, int]]:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def peek_word(self) -> str:
+        item = self.peek()
+        return item[1].lower() if item and item[0] == "name" else ""
+
+    def next(self) -> tuple[str, str, int]:
+        item = self.peek()
+        if item is None:
+            raise QuerySyntaxError("unexpected end of SQL input", self.text, len(self.text))
+        self.index += 1
+        return item
+
+    def expect_word(self, word: str) -> None:
+        kind, text, position = self.next()
+        if kind != "name" or text.lower() != word:
+            raise QuerySyntaxError(f"expected {word.upper()}, found {text!r}", self.text, position)
+
+    def expect_punct(self, symbol: str) -> None:
+        kind, text, position = self.next()
+        if text != symbol:
+            raise QuerySyntaxError(f"expected {symbol!r}, found {text!r}", self.text, position)
+
+    def accept_word(self, word: str) -> bool:
+        item = self.peek()
+        if item is not None and item[0] == "name" and item[1].lower() == word:
+            self.index += 1
+            return True
+        return False
+
+    def accept_punct(self, symbol: str) -> bool:
+        item = self.peek()
+        if item is not None and item[1] == symbol:
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_sql(text: str) -> SelectStatement:
+    """Parse a SELECT statement of the supported fragment."""
+    tokens = _Tokens(text.strip().rstrip(";"))
+    statement = _parse_select(tokens)
+    if not tokens.at_end():
+        _, trailing, position = tokens.next()
+        raise QuerySyntaxError(f"trailing input {trailing!r} after statement", tokens.text, position)
+    return statement
+
+
+def _parse_select(tokens: _Tokens) -> SelectStatement:
+    tokens.expect_word("select")
+    statement = SelectStatement()
+    while True:
+        item = _parse_select_item(tokens)
+        if isinstance(item, AggregateExpr):
+            if statement.aggregate is not None:
+                raise QuerySyntaxError("only one aggregate is supported per query", tokens.text, 0)
+            statement.aggregate = item
+        else:
+            statement.columns.append(item)
+        if not tokens.accept_punct(","):
+            break
+    tokens.expect_word("from")
+    while True:
+        statement.tables.append(_parse_table(tokens))
+        if not tokens.accept_punct(","):
+            break
+    if tokens.accept_word("where"):
+        comparisons, negations = _parse_conditions(tokens)
+        statement.comparisons.extend(comparisons)
+        statement.not_exists.extend(negations)
+    if tokens.accept_word("group"):
+        tokens.expect_word("by")
+        while True:
+            statement.group_by.append(_parse_column(tokens))
+            if not tokens.accept_punct(","):
+                break
+    return statement
+
+
+def _parse_select_item(tokens: _Tokens):
+    word = tokens.peek_word()
+    if word in _AGGREGATE_KEYWORDS:
+        lookahead = tokens.items[tokens.index + 1] if tokens.index + 1 < len(tokens.items) else None
+        if lookahead is not None and lookahead[1] == "(":
+            tokens.next()
+            tokens.expect_punct("(")
+            distinct = tokens.accept_word("distinct")
+            if tokens.accept_punct("*"):
+                argument = None
+            else:
+                argument = _parse_column(tokens)
+            tokens.expect_punct(")")
+            function = word
+            if function == "count" and distinct:
+                function = "cntd"
+            return AggregateExpr(function=function, argument=argument, distinct=distinct)
+    return _parse_column(tokens)
+
+
+def _parse_column(tokens: _Tokens) -> ColumnRef:
+    kind, first, position = tokens.next()
+    if kind != "name":
+        raise QuerySyntaxError(f"expected a column name, found {first!r}", tokens.text, position)
+    if tokens.accept_punct("."):
+        kind, second, position = tokens.next()
+        if kind != "name":
+            raise QuerySyntaxError(f"expected a column name after '.', found {second!r}", tokens.text, position)
+        return ColumnRef(column=second.lower(), table=first.lower())
+    return ColumnRef(column=first.lower())
+
+
+def _parse_table(tokens: _Tokens) -> TableRef:
+    kind, name, position = tokens.next()
+    if kind != "name":
+        raise QuerySyntaxError(f"expected a table name, found {name!r}", tokens.text, position)
+    alias = None
+    if tokens.accept_word("as"):
+        kind, alias_name, position = tokens.next()
+        if kind != "name":
+            raise QuerySyntaxError("expected an alias after AS", tokens.text, position)
+        alias = alias_name.lower()
+    elif tokens.peek() is not None and tokens.peek()[0] == "name" and tokens.peek_word() not in (
+        "where",
+        "group",
+        "on",
+        "as",
+    ):
+        alias = tokens.next()[1].lower()
+    return TableRef(table=name.lower(), alias=alias)
+
+
+def _parse_conditions(tokens: _Tokens) -> tuple[list[SqlComparison], list[NotExists]]:
+    comparisons: list[SqlComparison] = []
+    negations: list[NotExists] = []
+    while True:
+        if tokens.accept_word("not"):
+            tokens.expect_word("exists")
+            negations.append(_parse_not_exists(tokens))
+        else:
+            comparisons.append(_parse_comparison(tokens))
+        if not tokens.accept_word("and"):
+            break
+    return comparisons, negations
+
+
+def _parse_not_exists(tokens: _Tokens) -> NotExists:
+    tokens.expect_punct("(")
+    tokens.expect_word("select")
+    if not tokens.accept_punct("*"):
+        # Allow "SELECT 1" style existence subqueries.
+        tokens.next()
+    tokens.expect_word("from")
+    table = _parse_table(tokens)
+    conditions: tuple[SqlComparison, ...] = ()
+    if tokens.accept_word("where"):
+        inner_comparisons, inner_negations = _parse_conditions(tokens)
+        if inner_negations:
+            raise QuerySyntaxError(
+                "nested NOT EXISTS is not supported (the paper's queries have one "
+                "level of negation)",
+                tokens.text,
+                0,
+            )
+        conditions = tuple(inner_comparisons)
+    tokens.expect_punct(")")
+    return NotExists(table=table, conditions=conditions)
+
+
+def _parse_comparison(tokens: _Tokens) -> SqlComparison:
+    left = _parse_operand(tokens)
+    kind, op, position = tokens.next()
+    if kind != "op":
+        raise QuerySyntaxError(f"expected a comparison operator, found {op!r}", tokens.text, position)
+    right = _parse_operand(tokens)
+    return SqlComparison(left=left, op=op, right=right)
+
+
+def _parse_operand(tokens: _Tokens) -> Operand:
+    item = tokens.peek()
+    if item is not None and item[0] == "number":
+        tokens.next()
+        text = item[1]
+        value = Fraction(text)
+        return Literal(int(value) if value.denominator == 1 else value)
+    return _parse_column(tokens)

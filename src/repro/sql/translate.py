@@ -1,0 +1,260 @@
+"""Translation of the SQL subset into the internal query representation.
+
+SQL aggregate queries are the practical motivation of the paper (data
+warehouses, decision support).  The translator maps a parsed SELECT statement
+to a disjunctive aggregate query:
+
+* every table occurrence becomes a positive relational atom whose arguments
+  are fresh variables, one per column of the table's schema;
+* equality conditions between columns unify the corresponding variables;
+* comparisons against constants or other columns become ordering atoms;
+* every ``NOT EXISTS`` subquery over a single table becomes a negated atom —
+  each column of the negated table must be constrained by an equality to an
+  outer column or a constant, since the paper's negated subgoals have no
+  projection;
+* GROUP BY columns become grouping variables, and the single aggregate in the
+  SELECT list becomes the aggregate term (``COUNT(*)`` maps to ``count``,
+  ``COUNT(DISTINCT c)`` maps to ``cntd``).
+
+Because two SQL queries are equivalent under SQL's bag semantics iff their
+``count``-extended versions are equivalent (Section 8), this frontend plus the
+equivalence checker yields an equivalence test for SQL aggregate queries over
+the supported fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from ..datalog.atoms import Comparison, ComparisonOp, RelationalAtom
+from ..datalog.conditions import Condition
+from ..datalog.queries import AggregateTerm, Query
+from ..datalog.terms import Constant, Term, Variable
+from ..errors import QuerySyntaxError
+from .ast import ColumnRef, Literal, NotExists, SelectStatement, SqlComparison
+from .parser import parse_sql
+
+#: A database schema: table name -> ordered column names.
+Schema = Mapping[str, Sequence[str]]
+
+
+class SqlTranslator:
+    """Translate parsed SELECT statements into :class:`~repro.datalog.Query`."""
+
+    def __init__(self, schema: Schema):
+        self.schema = {table.lower(): [c.lower() for c in columns] for table, columns in schema.items()}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def translate(self, statement: Union[str, SelectStatement], name: str = "q") -> Query:
+        if isinstance(statement, str):
+            statement = parse_sql(statement)
+        columns_by_source = self._bind_tables(statement)
+        union_find = _UnionFind()
+        literals: list = []
+        # Positive atoms for the FROM tables.
+        atom_variables: dict[str, list[Variable]] = {}
+        for table in statement.tables:
+            variables = columns_by_source[table.name]
+            atom_variables[table.name] = variables
+            literals.append(RelationalAtom(table.table, tuple(variables)))
+        # WHERE conditions.
+        comparisons: list[Comparison] = []
+        for condition in statement.comparisons:
+            left = self._operand_term(condition.left, columns_by_source, statement)
+            right = self._operand_term(condition.right, columns_by_source, statement)
+            op = ComparisonOp.from_symbol(condition.op if condition.op != "<>" else "!=")
+            if op is ComparisonOp.EQ and isinstance(left, Variable) and isinstance(right, Variable):
+                union_find.union(left, right)
+            else:
+                comparisons.append(Comparison(left, op, right))
+        # NOT EXISTS subqueries become negated atoms.
+        negated_atoms = [
+            self._translate_not_exists(negation, columns_by_source, statement, union_find)
+            for negation in statement.not_exists
+        ]
+        # Apply the unification induced by the equality conditions.
+        substitution = union_find.substitution()
+        literals = [literal.substitute(substitution) for literal in literals]
+        negated_atoms = [atom.substitute(substitution) for atom in negated_atoms]
+        comparisons = [comparison.substitute(substitution) for comparison in comparisons]
+
+        head_terms, aggregate = self._build_head(statement, columns_by_source, substitution)
+        condition = Condition(tuple(literals) + tuple(negated_atoms) + tuple(comparisons))
+        return Query(name, head_terms, (condition,), aggregate)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bind_tables(self, statement: SelectStatement) -> dict[str, list[Variable]]:
+        if not statement.tables:
+            raise QuerySyntaxError("the FROM clause is empty")
+        columns_by_source: dict[str, list[Variable]] = {}
+        for table in statement.tables:
+            schema_columns = self.schema.get(table.table)
+            if schema_columns is None:
+                raise QuerySyntaxError(f"unknown table {table.table!r} (not in the schema)")
+            if table.name in columns_by_source:
+                raise QuerySyntaxError(f"duplicate table name or alias {table.name!r}")
+            columns_by_source[table.name] = [
+                Variable(f"{table.name}_{column}") for column in schema_columns
+            ]
+        return columns_by_source
+
+    def _resolve_column(
+        self,
+        column: ColumnRef,
+        columns_by_source: dict[str, list[Variable]],
+        statement: SelectStatement,
+    ) -> Variable:
+        if column.table is not None:
+            variables = columns_by_source.get(column.table)
+            if variables is None:
+                raise QuerySyntaxError(f"unknown table or alias {column.table!r}")
+            source_table = next(t for t in statement.tables if t.name == column.table)
+            schema_columns = self.schema[source_table.table]
+            if column.column not in schema_columns:
+                raise QuerySyntaxError(
+                    f"table {source_table.table!r} has no column {column.column!r}"
+                )
+            return variables[schema_columns.index(column.column)]
+        matches: list[Variable] = []
+        for table in statement.tables:
+            schema_columns = self.schema[table.table]
+            if column.column in schema_columns:
+                matches.append(columns_by_source[table.name][schema_columns.index(column.column)])
+        if not matches:
+            raise QuerySyntaxError(f"column {column.column!r} not found in any FROM table")
+        if len(matches) > 1:
+            raise QuerySyntaxError(f"column {column.column!r} is ambiguous; qualify it with a table name")
+        return matches[0]
+
+    def _operand_term(
+        self,
+        operand,
+        columns_by_source: dict[str, list[Variable]],
+        statement: SelectStatement,
+    ) -> Term:
+        if isinstance(operand, Literal):
+            return Constant(operand.value)
+        return self._resolve_column(operand, columns_by_source, statement)
+
+    def _translate_not_exists(
+        self,
+        negation: NotExists,
+        columns_by_source: dict[str, list[Variable]],
+        statement: SelectStatement,
+        union_find: "_UnionFind",
+    ) -> RelationalAtom:
+        table = negation.table
+        schema_columns = self.schema.get(table.table)
+        if schema_columns is None:
+            raise QuerySyntaxError(f"unknown table {table.table!r} in NOT EXISTS")
+        bindings: dict[str, Term] = {}
+        for condition in negation.conditions:
+            inner, outer = self._classify_not_exists_condition(condition, table.name, schema_columns)
+            if condition.op not in ("=",):
+                raise QuerySyntaxError(
+                    "NOT EXISTS subqueries may only use equality conditions "
+                    "(the paper's negated subgoals carry no comparisons of their own)"
+                )
+            outer_term = self._operand_term(outer, columns_by_source, statement) if isinstance(
+                outer, ColumnRef
+            ) else Constant(outer.value)
+            if inner.column in bindings:
+                raise QuerySyntaxError(f"column {inner.column!r} bound twice in NOT EXISTS")
+            bindings[inner.column] = outer_term
+        missing = [column for column in schema_columns if column not in bindings]
+        if missing:
+            raise QuerySyntaxError(
+                "every column of a NOT EXISTS table must be bound by an equality "
+                f"(unbound: {', '.join(missing)}); negated subgoals have no projection"
+            )
+        return RelationalAtom(table.table, tuple(bindings[column] for column in schema_columns), negated=True)
+
+    def _classify_not_exists_condition(
+        self, condition: SqlComparison, inner_name: str, schema_columns: Sequence[str]
+    ) -> tuple[ColumnRef, object]:
+        """Split a subquery condition into (inner column, outer operand)."""
+
+        def is_inner(operand) -> bool:
+            return (
+                isinstance(operand, ColumnRef)
+                and (operand.table == inner_name or (operand.table is None and operand.column in schema_columns))
+            )
+
+        if is_inner(condition.left) and not is_inner(condition.right):
+            return ColumnRef(condition.left.column, inner_name), condition.right
+        if is_inner(condition.right) and not is_inner(condition.left):
+            return ColumnRef(condition.right.column, inner_name), condition.left
+        raise QuerySyntaxError(
+            f"cannot interpret NOT EXISTS condition {condition}: exactly one side must "
+            "reference the negated table"
+        )
+
+    def _build_head(
+        self,
+        statement: SelectStatement,
+        columns_by_source: dict[str, list[Variable]],
+        substitution: Mapping[Variable, Variable],
+    ) -> tuple[tuple[Term, ...], Optional[AggregateTerm]]:
+        group_columns = statement.group_by or statement.columns
+        head_terms: list[Term] = []
+        for column in group_columns:
+            variable = self._resolve_column(column, columns_by_source, statement)
+            head_terms.append(substitution.get(variable, variable))
+        aggregate: Optional[AggregateTerm] = None
+        if statement.aggregate is not None:
+            expression = statement.aggregate
+            if expression.argument is None:
+                function = "count"
+                arguments: tuple[Variable, ...] = ()
+            else:
+                variable = self._resolve_column(expression.argument, columns_by_source, statement)
+                variable = substitution.get(variable, variable)
+                function = expression.function
+                if function == "count" and not expression.distinct:
+                    # COUNT(column) over non-null numeric columns coincides
+                    # with COUNT(*) in this model (there are no NULLs).
+                    function = "count"
+                    arguments = ()
+                else:
+                    arguments = (variable,)
+            aggregate = AggregateTerm(function, arguments)
+            # The aggregation variable must not be a grouping variable.
+            if aggregate.arguments and aggregate.arguments[0] in head_terms:
+                raise QuerySyntaxError(
+                    "aggregating a GROUP BY column is not meaningful in the paper's model"
+                )
+        return tuple(head_terms), aggregate
+
+
+class _UnionFind:
+    """Union-find over variables, used to apply SQL equality joins."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Variable, Variable] = {}
+
+    def find(self, variable: Variable) -> Variable:
+        parent = self._parent.get(variable, variable)
+        if parent == variable:
+            return variable
+        root = self.find(parent)
+        self._parent[variable] = root
+        return root
+
+    def union(self, first: Variable, second: Variable) -> None:
+        root_first, root_second = self.find(first), self.find(second)
+        if root_first == root_second:
+            return
+        keep, drop = sorted((root_first, root_second), key=lambda v: v.name)
+        self._parent[drop] = keep
+
+    def substitution(self) -> dict[Variable, Variable]:
+        return {variable: self.find(variable) for variable in list(self._parent)}
+
+
+def sql_to_query(sql: str, schema: Schema, name: str = "q") -> Query:
+    """One-shot helper: parse and translate a SQL string."""
+    return SqlTranslator(schema).translate(sql, name=name)

@@ -1,0 +1,15 @@
+"""Workload generators and the data-warehouse scenario used by examples,
+property-based tests, and the benchmark harness."""
+
+from .generators import QueryGenerator, QueryProfile, linear_chain_query, renamed_copy
+from .scenarios import WAREHOUSE_SCHEMA, WarehouseScenario, build_warehouse
+
+__all__ = [
+    "QueryGenerator",
+    "QueryProfile",
+    "WAREHOUSE_SCHEMA",
+    "WarehouseScenario",
+    "build_warehouse",
+    "linear_chain_query",
+    "renamed_copy",
+]

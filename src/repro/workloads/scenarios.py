@@ -1,0 +1,94 @@
+"""A deterministic data-warehouse scenario.
+
+The paper's introduction motivates the equivalence problem with data
+warehouses and decision-support systems: aggregate queries reduce large fact
+tables to small summaries, and rewriting optimizations hinge on recognizing
+equivalent formulations.  This module provides a small but realistic sales
+warehouse (a fact table plus dimension tables and an exclusion list) together
+with a family of analyst queries over it.  The examples and the engine
+benchmark are built on this scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datalog.database import Database
+from ..datalog.parser import parse_query
+from ..datalog.queries import Query
+
+
+@dataclass
+class WarehouseScenario:
+    """A sales warehouse instance and the analyst queries posed against it."""
+
+    database: Database
+    queries: dict[str, Query]
+
+    @property
+    def fact_count(self) -> int:
+        return len(self.database)
+
+
+#: Relation schema of the scenario (predicate -> arity).
+WAREHOUSE_SCHEMA: dict[str, int] = {
+    # sales(store, product, amount)
+    "sales": 3,
+    # returns(store, product)
+    "returns": 2,
+    # discontinued(product)
+    "discontinued": 1,
+    # premium_store(store)
+    "premium_store": 1,
+}
+
+
+def build_warehouse(
+    stores: int = 5, products: int = 8, sales_per_store: int = 12, seed: int = 7
+) -> WarehouseScenario:
+    """Build a deterministic warehouse instance of the requested size."""
+    rng = random.Random(seed)
+    facts = []
+    for store in range(1, stores + 1):
+        if store % 2 == 1:
+            facts.append(("premium_store", (store,)))
+        for _ in range(sales_per_store):
+            product = rng.randint(1, products)
+            amount = rng.randint(1, 50)
+            facts.append(("sales", (store, product, amount)))
+            if rng.random() < 0.15:
+                facts.append(("returns", (store, product)))
+    for product in range(1, products + 1):
+        if rng.random() < 0.2:
+            facts.append(("discontinued", (product,)))
+    database = Database(facts)
+
+    queries = {
+        # Total revenue per store, ignoring returned or discontinued items.
+        "revenue_per_store": parse_query(
+            "revenue(s, sum(a)) :- sales(s, p, a), not returns(s, p), not discontinued(p)"
+        ),
+        # The same query written with the negations in the opposite order —
+        # equivalent, and the optimizer should recognize it.
+        "revenue_per_store_alt": parse_query(
+            "revenue(s, sum(a)) :- sales(s, p, a), not discontinued(p), not returns(s, p)"
+        ),
+        # A subtly different query: it only excludes discontinued products.
+        "revenue_keep_returns": parse_query(
+            "revenue(s, sum(a)) :- sales(s, p, a), not discontinued(p)"
+        ),
+        # Largest single sale per store for large transactions.
+        "largest_sale": parse_query(
+            "largest(s, max(a)) :- sales(s, p, a), a > 10"
+        ),
+        # Number of large transactions per store, premium stores only.
+        "large_sales_count": parse_query(
+            "large_sales(s, count()) :- sales(s, p, a), premium_store(s), a > 10"
+        ),
+        # Count of distinct products sold per store.
+        "distinct_products": parse_query(
+            "assortment(s, cntd(p)) :- sales(s, p, a)"
+        ),
+    }
+    return WarehouseScenario(database=database, queries=queries)

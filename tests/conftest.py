@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Domain, parse_database, parse_query
+from repro.workloads import QueryGenerator, QueryProfile, build_warehouse
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2001)
+
+
+@pytest.fixture
+def simple_db():
+    return parse_database("p(1, 2). p(1, 3). p(2, 5). p(2, -1). r(3). s(1).")
+
+
+@pytest.fixture
+def unary_db():
+    return parse_database("p(1). p(2). p(3). r(2).")
+
+
+@pytest.fixture
+def sum_query():
+    return parse_query("q(x, sum(y)) :- p(x, y)")
+
+
+@pytest.fixture
+def max_query():
+    return parse_query("q(x, max(y)) :- p(x, y)")
+
+
+@pytest.fixture
+def count_query():
+    return parse_query("q(x, count()) :- p(x, y)")
+
+
+@pytest.fixture
+def negation_query():
+    return parse_query("q(x, sum(y)) :- p(x, y), not r(y)")
+
+
+@pytest.fixture
+def warehouse():
+    return build_warehouse(stores=3, products=5, sales_per_store=6, seed=11)
+
+
+@pytest.fixture
+def quasilinear_generator():
+    profile = QueryProfile(
+        predicates={"p": 2, "r": 1, "s": 2},
+        aggregation_function="sum",
+        quasilinear_only=True,
+        max_comparisons=1,
+    )
+    return QueryGenerator(profile, seed=42)
+
+
+@pytest.fixture(params=[Domain.RATIONALS, Domain.INTEGERS], ids=["Q", "Z"])
+def domain(request):
+    return request.param

@@ -1,0 +1,144 @@
+"""Tests for bag-set/set semantics equivalence and the counterexample search."""
+
+import random
+
+import pytest
+
+from repro import Domain, parse_database, parse_query
+from repro.core import (
+    as_count_query,
+    bag_set_equivalent,
+    enumerate_databases,
+    exhaustive_counterexample,
+    find_counterexample,
+    set_equivalent,
+    value_pool,
+)
+from repro.engine import evaluate_bag_set, evaluate_set
+from repro.errors import MalformedQueryError
+
+
+class TestCountQueryReduction:
+    def test_as_count_query_shape(self):
+        query = parse_query("q(x) :- p(x, y), not r(y)")
+        count_query = as_count_query(query)
+        assert count_query.is_aggregate
+        assert count_query.aggregate_function == "count"
+        assert count_query.head_terms == query.head_terms
+        assert count_query.disjuncts == query.disjuncts
+
+    def test_as_count_query_rejects_aggregates(self):
+        with pytest.raises(MalformedQueryError):
+            as_count_query(parse_query("q(x, sum(y)) :- p(x, y)"))
+
+    def test_count_query_matches_bag_set_semantics_pointwise(self):
+        query = parse_query("q(x) :- p(x, y), not r(y)")
+        count_query = as_count_query(query)
+        database = parse_database("p(1, 2). p(1, 3). p(2, 5). r(3).")
+        from repro.engine import evaluate_aggregate
+
+        counts = evaluate_aggregate(count_query, database)
+        bag = evaluate_bag_set(query, database)
+        assert counts == dict(bag)
+
+
+class TestBagSetEquivalence:
+    def test_projection_not_bag_set_equivalent(self):
+        first = parse_query("q(x) :- p(x, y)")
+        second = parse_query("q(x) :- p(x, y), p(x, z)")
+        assert set_equivalent(first, second).equivalent
+        assert not bag_set_equivalent(first, second).equivalent
+
+    def test_duplicate_disjunct_not_bag_set_equivalent(self):
+        first = parse_query("q(x) :- p(x)")
+        second = parse_query("q(x) :- p(x) ; p(x)")
+        assert set_equivalent(first, second).equivalent
+        assert not bag_set_equivalent(first, second).equivalent
+
+    def test_renaming_is_bag_set_equivalent(self):
+        first = parse_query("q(x) :- p(x, y), not r(y)")
+        second = parse_query("q(x) :- p(x, z), not r(z)")
+        assert bag_set_equivalent(first, second).equivalent
+
+    def test_both_routes_agree(self):
+        pairs = [
+            ("q(x) :- p(x, y)", "q(x) :- p(x, y), p(x, z)"),
+            ("q(x) :- p(x, y), not r(y)", "q(x) :- p(x, z), not r(z)"),
+            ("q(x) :- p(x, y), y > 0", "q(x) :- p(x, y), y >= 0"),
+        ]
+        for first_text, second_text in pairs:
+            first, second = parse_query(first_text), parse_query(second_text)
+            via_count = bag_set_equivalent(first, second, via_count_queries=True)
+            direct = bag_set_equivalent(first, second, via_count_queries=False)
+            assert via_count.equivalent == direct.equivalent
+
+    def test_bag_set_equivalence_rejects_aggregates(self):
+        with pytest.raises(MalformedQueryError):
+            bag_set_equivalent(
+                parse_query("q(x, sum(y)) :- p(x, y)"), parse_query("q(x, sum(y)) :- p(x, y)")
+            )
+
+    def test_set_equivalence_with_negation(self):
+        first = parse_query("q(x) :- p(x), not r(x)")
+        second = parse_query("q(x) :- p(x)")
+        assert not set_equivalent(first, second).equivalent
+
+
+class TestCounterexampleSearch:
+    def test_finds_distinguishing_database(self):
+        first = parse_query("q(x, sum(y)) :- p(x, y)")
+        second = parse_query("q(x, sum(y)) :- p(x, y), not r(y)")
+        witness = find_counterexample(first, second, rng=random.Random(1))
+        assert witness is not None
+        from repro.engine import evaluate_aggregate
+
+        assert evaluate_aggregate(first, witness) != evaluate_aggregate(second, witness)
+
+    def test_no_counterexample_for_equivalent_queries(self):
+        first = parse_query("q(x, max(y)) :- p(x, y), y > 0")
+        second = parse_query("q(x, max(y)) :- p(x, y), 0 < y")
+        assert find_counterexample(first, second, trials=150, rng=random.Random(2)) is None
+
+    def test_bag_set_semantics_counterexample(self):
+        first = parse_query("q(x) :- p(x, y)")
+        second = parse_query("q(x) :- p(x, y), p(x, z)")
+        witness = find_counterexample(first, second, semantics="bag-set", rng=random.Random(3))
+        assert witness is not None
+        assert evaluate_bag_set(first, witness) != evaluate_bag_set(second, witness)
+        assert evaluate_set(first, witness) == evaluate_set(second, witness)
+
+    def test_value_pool_contains_query_constants_and_neighbours(self):
+        first = parse_query("q(x) :- p(x), x > 7")
+        second = parse_query("q(x) :- p(x), x > 7")
+        pool = value_pool(first, second, Domain.INTEGERS)
+        assert 7 in pool and 8 in pool and 6 in pool
+
+    def test_integer_domain_respected(self):
+        first = parse_query("q(x, count()) :- p(x), x > 0, x < 2")
+        second = parse_query("q(x, count()) :- p(x), x = 1")
+        assert find_counterexample(first, second, domain=Domain.INTEGERS, trials=200) is None
+        witness = find_counterexample(
+            first, second, domain=Domain.RATIONALS, trials=500, rng=random.Random(5)
+        )
+        assert witness is not None
+
+    def test_exhaustive_oracle_finds_small_witness(self):
+        first = parse_query("q(count()) :- p(y)")
+        second = parse_query("q(count()) :- p(y), not r(y)")
+        witness = exhaustive_counterexample(first, second, values=[0], max_facts=2)
+        assert witness is not None and len(witness) <= 2
+
+    def test_exhaustive_oracle_confirms_equivalence_over_pool(self):
+        first = parse_query("q(max(y)) :- p(y) ; p(y), p(z)")
+        second = parse_query("q(max(y)) :- p(y)")
+        assert exhaustive_counterexample(first, second, values=[0, 1]) is None
+
+    def test_enumerate_databases_counts(self):
+        databases = list(enumerate_databases({"p": 1}, [0, 1]))
+        # Subsets of {p(0), p(1)}: 4 databases.
+        assert len(databases) == 4
+
+    def test_queries_without_predicates(self):
+        first = parse_query("q(1) :- 1 < 2")
+        second = parse_query("q(1) :- 2 < 3")
+        assert find_counterexample(first, second) is None

@@ -1,0 +1,211 @@
+"""Tests for the order-constraint solver (ComparisonSystem)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog import Comparison, ComparisonOp, Constant, Variable
+from repro.domains import Domain
+from repro.errors import UnsatisfiableOrderingError
+from repro.orderings import ComparisonSystem
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def cmp(left, op, right):
+    return Comparison(left, ComparisonOp.from_symbol(op), right)
+
+
+class TestSatisfiability:
+    def test_empty_system_is_satisfiable(self, domain):
+        assert ComparisonSystem((), domain).is_satisfiable()
+
+    def test_simple_chain(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", Z)], domain)
+        assert system.is_satisfiable()
+
+    def test_cycle_is_unsatisfiable(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", X)], domain)
+        assert not system.is_satisfiable()
+
+    def test_strict_cycle_through_equality(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "=", X)], domain)
+        assert not system.is_satisfiable()
+
+    def test_dense_vs_discrete_gap(self):
+        # 0 < y < z < 2: satisfiable over Q, unsatisfiable over Z (paper, Sec. 3.2).
+        comparisons = [cmp(Constant(0), "<", Y), cmp(Y, "<", Z), cmp(Z, "<", Constant(2))]
+        assert ComparisonSystem(comparisons, Domain.RATIONALS).is_satisfiable()
+        assert not ComparisonSystem(comparisons, Domain.INTEGERS).is_satisfiable()
+
+    def test_single_unit_gap_over_integers(self):
+        comparisons = [cmp(Constant(0), "<", Y), cmp(Y, "<", Constant(2))]
+        assert ComparisonSystem(comparisons, Domain.INTEGERS).is_satisfiable()
+
+    def test_contradictory_constants(self, domain):
+        system = ComparisonSystem([cmp(Constant(3), "<", Constant(1))], domain)
+        assert not system.is_satisfiable()
+
+    def test_disequality_satisfiable(self, domain):
+        assert ComparisonSystem([cmp(X, "!=", Y)], domain).is_satisfiable()
+
+    def test_disequality_with_forced_equality(self, domain):
+        system = ComparisonSystem([cmp(X, "<=", Y), cmp(Y, "<=", X), cmp(X, "!=", Y)], domain)
+        assert not system.is_satisfiable()
+
+    def test_disequality_squeezed_over_integers(self):
+        # 0 <= x <= 1 with x != 0 and x != 1 is unsatisfiable over Z.
+        comparisons = [
+            cmp(Constant(0), "<=", X),
+            cmp(X, "<=", Constant(1)),
+            cmp(X, "!=", Constant(0)),
+            cmp(X, "!=", Constant(1)),
+        ]
+        assert not ComparisonSystem(comparisons, Domain.INTEGERS).is_satisfiable()
+        assert ComparisonSystem(comparisons, Domain.RATIONALS).is_satisfiable()
+
+
+class TestEntailment:
+    def test_transitive_entailment(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", Z)], domain)
+        assert system.entails(cmp(X, "<", Z))
+        assert system.entails(cmp(X, "!=", Z))
+        assert not system.entails(cmp(Z, "<", X))
+
+    def test_integer_pinning_entails_equality(self):
+        system = ComparisonSystem(
+            [cmp(Constant(0), "<", X), cmp(X, "<", Constant(2))], Domain.INTEGERS
+        )
+        assert system.entails(cmp(X, "=", Constant(1)))
+
+    def test_no_pinning_over_rationals(self):
+        system = ComparisonSystem(
+            [cmp(Constant(0), "<", X), cmp(X, "<", Constant(2))], Domain.RATIONALS
+        )
+        assert not system.entails(cmp(X, "=", Constant(1)))
+
+    def test_entailed_relation(self, domain):
+        system = ComparisonSystem([cmp(X, "<=", Y), cmp(Y, "<=", X)], domain)
+        assert system.entailed_relation(X, Y) is ComparisonOp.EQ
+        system = ComparisonSystem([cmp(X, "<", Y)], domain)
+        assert system.entailed_relation(X, Y) is ComparisonOp.LT
+        assert system.entailed_relation(Y, X) is ComparisonOp.GT
+        system = ComparisonSystem([cmp(X, "<=", Y)], domain)
+        assert system.entailed_relation(X, Y) is None
+
+    def test_entails_from_disequality_and_le(self, domain):
+        system = ComparisonSystem([cmp(X, "<=", Y), cmp(X, "!=", Y)], domain)
+        assert system.entails(cmp(X, "<", Y))
+
+    def test_integer_strictness_strengthens_bounds(self):
+        # x < y over Z entails x <= y - 1, i.e. x + 1 <= y; check via x < y, y < 3 => x < 2,
+        # in fact x <= 1 so x < 2 and even x != 2.
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", Constant(3))], Domain.INTEGERS)
+        assert system.entails(cmp(X, "<", Constant(2)))
+        assert system.entails(cmp(X, "<=", Constant(1)))
+
+    def test_rational_strictness_does_not_overshoot(self):
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", Constant(3))], Domain.RATIONALS)
+        assert system.entails(cmp(X, "<", Constant(3)))
+        assert not system.entails(cmp(X, "<=", Constant(1)))
+
+    def test_is_complete_ordering(self, domain):
+        complete = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", Constant(3))], domain)
+        assert complete.is_complete_ordering_of([X, Y, Constant(3)])
+        partial = ComparisonSystem([cmp(X, "<", Constant(3)), cmp(Y, "<", Constant(3))], domain)
+        assert not partial.is_complete_ordering_of([X, Y, Constant(3)])
+
+    def test_unsatisfiable_is_not_complete_ordering(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y), cmp(Y, "<", X)], domain)
+        assert not system.is_complete_ordering_of([X, Y])
+
+
+class TestReductionHelpers:
+    def test_entailed_equalities(self, domain):
+        system = ComparisonSystem([cmp(X, "<=", Y), cmp(Y, "<=", X), cmp(Z, "<", X)], domain)
+        pairs = system.entailed_equalities()
+        assert any({X, Y} == {a, b} for a, b in pairs)
+
+    def test_pinned_constants_over_integers(self):
+        system = ComparisonSystem(
+            [cmp(Constant(3), "<", X), cmp(X, "<", Constant(5))], Domain.INTEGERS
+        )
+        assert system.pinned_constants() == {X: 4}
+
+    def test_pinned_constants_explicit_equality(self, domain):
+        system = ComparisonSystem([cmp(X, "=", Constant(7))], domain)
+        assert system.pinned_constants() == {X: 7}
+
+    def test_pinned_constants_chain_over_integers(self):
+        system = ComparisonSystem(
+            [cmp(Constant(0), "<", X), cmp(X, "<", Y), cmp(Y, "<", Constant(3))],
+            Domain.INTEGERS,
+        )
+        assert system.pinned_constants() == {X: 1, Y: 2}
+
+    def test_no_pinning_over_rationals(self):
+        system = ComparisonSystem(
+            [cmp(Constant(3), "<", X), cmp(X, "<", Constant(5))], Domain.RATIONALS
+        )
+        assert system.pinned_constants() == {}
+
+
+class TestSatisfyingAssignment:
+    def test_assignment_respects_constraints(self, domain):
+        comparisons = [cmp(X, "<", Y), cmp(Y, "<=", Constant(4)), cmp(X, ">", Constant(-2))]
+        system = ComparisonSystem(comparisons, domain)
+        assignment = system.satisfying_assignment()
+        for comparison in comparisons:
+            left = assignment.get(comparison.left, getattr(comparison.left, "value", None))
+            right = assignment.get(comparison.right, getattr(comparison.right, "value", None))
+            assert comparison.op.holds(Fraction(left), Fraction(right))
+
+    def test_assignment_maps_constants_to_themselves(self, domain):
+        system = ComparisonSystem([cmp(X, ">", Constant(3))], domain)
+        assignment = system.satisfying_assignment()
+        assert assignment[Constant(3)] == 3
+        assert Fraction(assignment[X]) > 3
+
+    def test_integer_assignment_is_integral(self):
+        system = ComparisonSystem(
+            [cmp(Constant(0), "<", X), cmp(X, "<", Y), cmp(Y, "<", Constant(5))],
+            Domain.INTEGERS,
+        )
+        assignment = system.satisfying_assignment()
+        assert all(isinstance(value, int) for value in assignment.values())
+
+    def test_dense_gap_assignment(self):
+        system = ComparisonSystem(
+            [cmp(Constant(0), "<", X), cmp(X, "<", Constant(1))], Domain.RATIONALS
+        )
+        assignment = system.satisfying_assignment()
+        assert 0 < Fraction(assignment[X]) < 1
+
+    def test_unsatisfiable_raises(self, domain):
+        system = ComparisonSystem([cmp(X, "<", X)], domain)
+        with pytest.raises(UnsatisfiableOrderingError):
+            system.satisfying_assignment()
+
+    def test_disequality_respected(self, domain):
+        system = ComparisonSystem([cmp(X, "!=", Y), cmp(X, "<=", Y)], domain)
+        assignment = system.satisfying_assignment()
+        assert assignment[X] != assignment[Y]
+
+
+class TestIncrementalApi:
+    def test_add_and_extend_clear_cache(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y)], domain)
+        assert system.is_satisfiable()
+        system.add(cmp(Y, "<", X))
+        assert not system.is_satisfiable()
+
+    def test_with_extra_does_not_mutate(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Y)], domain)
+        extended = system.with_extra([cmp(Y, "<", X)])
+        assert system.is_satisfiable()
+        assert not extended.is_satisfiable()
+
+    def test_terms_and_variables(self, domain):
+        system = ComparisonSystem([cmp(X, "<", Constant(3))], domain)
+        assert system.terms() == {X, Constant(3)}
+        assert system.variables() == {X}

@@ -1,0 +1,84 @@
+"""Tests for repro.domains."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.domains import Domain, normalize_value, value_sort_key
+from repro.errors import DomainError
+
+
+class TestDomainBasics:
+    def test_integers_is_discrete(self):
+        assert Domain.INTEGERS.is_discrete
+        assert not Domain.INTEGERS.is_dense
+
+    def test_rationals_is_dense(self):
+        assert Domain.RATIONALS.is_dense
+        assert not Domain.RATIONALS.is_discrete
+
+    def test_integers_contains_int(self):
+        assert Domain.INTEGERS.contains(7)
+        assert Domain.INTEGERS.contains(-3)
+
+    def test_integers_rejects_fraction(self):
+        assert not Domain.INTEGERS.contains(Fraction(1, 2))
+
+    def test_integers_rejects_bool(self):
+        assert not Domain.INTEGERS.contains(True)
+
+    def test_rationals_contains_fraction_and_int(self):
+        assert Domain.RATIONALS.contains(Fraction(1, 2))
+        assert Domain.RATIONALS.contains(5)
+
+
+class TestNormalize:
+    def test_normalize_int(self):
+        assert Domain.INTEGERS.normalize(4) == 4
+
+    def test_normalize_float_to_fraction(self):
+        assert Domain.RATIONALS.normalize(0.5) == Fraction(1, 2)
+
+    def test_normalize_whole_float_to_int(self):
+        value = Domain.RATIONALS.normalize(3.0)
+        assert value == 3
+        assert isinstance(value, int)
+
+    def test_normalize_fraction_in_integers_raises(self):
+        with pytest.raises(DomainError):
+            Domain.INTEGERS.normalize(Fraction(1, 3))
+
+    def test_normalize_whole_fraction_in_integers(self):
+        assert Domain.INTEGERS.normalize(Fraction(6, 2)) == 3
+
+    def test_normalize_value_rejects_bool(self):
+        with pytest.raises(DomainError):
+            normalize_value(True)
+
+    def test_normalize_value_rejects_string(self):
+        with pytest.raises(DomainError):
+            normalize_value("5")  # type: ignore[arg-type]
+
+
+class TestMidpoints:
+    def test_dense_midpoint_always_exists(self):
+        assert Domain.RATIONALS.midpoint_exists(0, Fraction(1, 10**6))
+
+    def test_discrete_midpoint_needs_gap_of_two(self):
+        assert not Domain.INTEGERS.midpoint_exists(0, 1)
+        assert Domain.INTEGERS.midpoint_exists(0, 2)
+
+    def test_no_midpoint_when_not_increasing(self):
+        assert not Domain.RATIONALS.midpoint_exists(2, 2)
+        assert not Domain.INTEGERS.midpoint_exists(3, 1)
+
+    def test_values_strictly_between_discrete(self):
+        assert Domain.INTEGERS.values_strictly_between(0, 5) == 4
+        assert Domain.INTEGERS.values_strictly_between(0, 1) == 0
+
+    def test_values_strictly_between_dense_is_unbounded(self):
+        assert Domain.RATIONALS.values_strictly_between(0, 1) is None
+
+    def test_value_sort_key_orders_mixed_values(self):
+        values = [Fraction(1, 2), 0, 2, Fraction(3, 2), 1]
+        assert sorted(values, key=value_sort_key) == [0, Fraction(1, 2), 1, Fraction(3, 2), 2]

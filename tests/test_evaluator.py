@@ -1,0 +1,172 @@
+"""Tests for concrete query evaluation (Section 3 semantics)."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro import Domain, evaluate, evaluate_aggregate, evaluate_bag_set, evaluate_set, parse_database, parse_query
+from repro.engine import group_assignments, results_equal, satisfying_assignments
+from repro.errors import EvaluationError
+
+
+class TestSatisfyingAssignments:
+    def test_basic_join(self, simple_db):
+        query = parse_query("q(x, y) :- p(x, y)")
+        assignments = satisfying_assignments(query, simple_db)
+        assert len(assignments) == 4
+
+    def test_join_on_shared_variable(self):
+        database = parse_database("p(1, 2). p(2, 3). p(3, 4).")
+        query = parse_query("q(x, z) :- p(x, y), p(y, z)")
+        results = evaluate_set(query, database)
+        assert results == {(1, 3), (2, 4)}
+
+    def test_negation_filters(self, simple_db):
+        query = parse_query("q(x, y) :- p(x, y), not r(y)")
+        results = evaluate_set(query, simple_db)
+        assert (1, 3) not in results
+        assert (1, 2) in results
+
+    def test_comparisons_filter(self, simple_db):
+        query = parse_query("q(x, y) :- p(x, y), y > 2")
+        assert evaluate_set(query, simple_db) == {(1, 3), (2, 5)}
+
+    def test_constants_in_atoms(self, simple_db):
+        query = parse_query("q(y) :- p(1, y)")
+        assert evaluate_set(query, simple_db) == {(2,), (3,)}
+
+    def test_repeated_variable_in_atom(self):
+        database = parse_database("p(1, 1). p(1, 2).")
+        query = parse_query("q(x) :- p(x, x)")
+        assert evaluate_set(query, database) == {(1,)}
+
+    def test_equality_defined_variable(self, simple_db):
+        query = parse_query("q(x, z) :- p(x, y), z = y")
+        assert evaluate_set(query, simple_db) == evaluate_set(parse_query("q(x, y) :- p(x, y)"), simple_db)
+
+    def test_equality_to_constant(self, simple_db):
+        query = parse_query("q(x, z) :- p(x, y), z = 7")
+        assert all(row[1] == 7 for row in evaluate_set(query, simple_db))
+
+    def test_labels_record_disjuncts(self, simple_db):
+        query = parse_query("q(x) :- p(x, y) ; p(x, y), y > 2")
+        assignments = satisfying_assignments(query, simple_db)
+        labels = {a.disjunct_index for a in assignments}
+        assert labels == {0, 1}
+
+    def test_empty_relation(self):
+        query = parse_query("q(x) :- missing(x)")
+        assert evaluate_set(query, parse_database("p(1).")) == set()
+
+
+class TestSetAndBagSetSemantics:
+    def test_projection_set_vs_bagset(self):
+        database = parse_database("p(1, 2). p(1, 3). p(2, 4).")
+        query = parse_query("q(x) :- p(x, y)")
+        assert evaluate_set(query, database) == {(1,), (2,)}
+        assert evaluate_bag_set(query, database) == Counter({(1,): 2, (2,): 1})
+
+    def test_disjunct_multiplicity(self):
+        database = parse_database("p(1).")
+        query = parse_query("q(x) :- p(x) ; p(x)")
+        assert evaluate_bag_set(query, database) == Counter({(1,): 2})
+        assert evaluate_set(query, database) == {(1,)}
+
+    def test_evaluate_dispatches_on_query_shape(self, simple_db):
+        aggregate = parse_query("q(x, count()) :- p(x, y)")
+        plain = parse_query("q(x) :- p(x, y)")
+        assert isinstance(evaluate(aggregate, simple_db), dict)
+        assert isinstance(evaluate(plain, simple_db), set)
+
+
+class TestAggregateSemantics:
+    def test_sum_groups(self, simple_db, sum_query):
+        assert evaluate_aggregate(sum_query, simple_db) == {(1,): 5, (2,): 4}
+
+    def test_count_groups(self, simple_db, count_query):
+        assert evaluate_aggregate(count_query, simple_db) == {(1,): 2, (2,): 2}
+
+    def test_max_groups(self, simple_db, max_query):
+        assert evaluate_aggregate(max_query, simple_db) == {(1,): 3, (2,): 5}
+
+    def test_avg_exact_fraction(self, simple_db):
+        query = parse_query("q(x, avg(y)) :- p(x, y)")
+        assert evaluate_aggregate(query, simple_db) == {(1,): Fraction(5, 2), (2,): 2}
+
+    def test_cntd(self):
+        database = parse_database("p(1, 2). p(1, 2). p(1, 3). p(2, 5).")
+        query = parse_query("q(x, cntd(y)) :- p(x, y)")
+        assert evaluate_aggregate(query, database) == {(1,): 2, (2,): 1}
+
+    def test_top2(self, simple_db):
+        query = parse_query("q(x, top2(y)) :- p(x, y)")
+        assert evaluate_aggregate(query, simple_db) == {(1,): (3, 2), (2,): (5, -1)}
+
+    def test_parity(self, simple_db):
+        query = parse_query("q(x, parity) :- p(x, y)")
+        assert evaluate_aggregate(query, simple_db) == {(1,): 0, (2,): 0}
+
+    def test_prod(self):
+        database = parse_database("p(1, 2). p(1, 3). p(2, 0). p(2, 7).")
+        query = parse_query("q(x, prod(y)) :- p(x, y)")
+        assert evaluate_aggregate(query, database) == {(1,): 6, (2,): 0}
+
+    def test_empty_groups_do_not_appear(self, simple_db):
+        query = parse_query("q(x, sum(y)) :- p(x, y), y > 100")
+        assert evaluate_aggregate(query, simple_db) == {}
+
+    def test_groups_with_negation(self, simple_db, negation_query):
+        # r(3) removes y = 3 from group x = 1.
+        assert evaluate_aggregate(negation_query, simple_db) == {(1,): 2, (2,): 4}
+
+    def test_duplicate_disjuncts_double_count(self):
+        database = parse_database("p(1, 2).")
+        query = parse_query("q(x, sum(y)) :- p(x, y) ; p(x, y)")
+        assert evaluate_aggregate(query, database) == {(1,): 4}
+
+    def test_assignment_multiplicity_within_group(self):
+        # Two assignments with the same aggregation value are both counted.
+        database = parse_database("p(1, 2, 10). p(1, 3, 10).")
+        query = parse_query("q(x, sum(v)) :- p(x, y, v)")
+        assert evaluate_aggregate(query, database) == {(1,): 20}
+
+    def test_grouping_by_constant_head_term(self):
+        database = parse_database("p(1, 2). p(2, 3).")
+        query = parse_query("q(7, sum(y)) :- p(x, y)")
+        assert evaluate_aggregate(query, database) == {(7,): 5}
+
+    def test_group_assignments_match_gamma(self, simple_db, sum_query):
+        groups = group_assignments(sum_query, simple_db)
+        assert set(groups) == {(1,), (2,)}
+        assert len(groups[(1,)]) == 2
+
+    def test_aggregate_on_non_aggregate_query_raises(self, simple_db):
+        with pytest.raises(EvaluationError):
+            evaluate_aggregate(parse_query("q(x) :- p(x, y)"), simple_db)
+
+    def test_results_equal_requires_same_shape(self, simple_db, sum_query):
+        with pytest.raises(EvaluationError):
+            results_equal(sum_query, parse_query("q(x) :- p(x, y)"), simple_db)
+
+    def test_results_equal(self, simple_db):
+        first = parse_query("q(x, sum(y)) :- p(x, y)")
+        second = parse_query("q(x, sum(z)) :- p(x, z)")
+        assert results_equal(first, second, simple_db)
+
+
+class TestDisjunctiveAggregates:
+    def test_union_of_disjuncts_under_count(self):
+        database = parse_database("p(1, 2). r(1, 5).")
+        query = parse_query("q(x, count()) :- p(x, y) ; r(x, y)")
+        assert evaluate_aggregate(query, database) == {(1,): 2}
+
+    def test_assignment_satisfying_two_disjuncts_counted_twice(self):
+        database = parse_database("p(1, 2).")
+        query = parse_query("q(x, count()) :- p(x, y) ; p(x, y), y > 0")
+        assert evaluate_aggregate(query, database) == {(1,): 2}
+
+    def test_max_unaffected_by_duplicate_disjuncts(self, simple_db):
+        single = parse_query("q(x, max(y)) :- p(x, y)")
+        double = parse_query("q(x, max(y)) :- p(x, y) ; p(x, y)")
+        assert evaluate_aggregate(single, simple_db) == evaluate_aggregate(double, simple_db)

@@ -1,0 +1,22 @@
+"""The example scripts must run end-to-end without errors."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 4
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

@@ -1,0 +1,140 @@
+"""Tests for homomorphisms and isomorphisms between conjunctive queries."""
+
+import pytest
+
+from repro import Domain, parse_query
+from repro.core import (
+    are_isomorphic,
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    homomorphisms,
+    isomorphisms,
+)
+from repro.datalog import Variable
+from repro.errors import MalformedQueryError
+
+
+class TestHomomorphisms:
+    def test_renaming_is_a_homomorphism_both_ways(self):
+        first = parse_query("q(x, sum(y)) :- p(x, y), r(y)")
+        second = parse_query("q(x, sum(y)) :- p(x, y), r(y)")
+        assert has_homomorphism(first, second)
+        assert has_homomorphism(second, first)
+
+    def test_head_must_be_preserved(self):
+        first = parse_query("q(x, sum(y)) :- p(x, y)")
+        second = parse_query("q(x, sum(y)) :- p(y, x)")
+        assert not has_homomorphism(first, second)
+
+    def test_homomorphism_into_larger_query(self):
+        # Classic CQ containment direction: the smaller (less constrained)
+        # query maps into the more constrained one.
+        small = parse_query("q(x) :- p(x, y)")
+        large = parse_query("q(x) :- p(x, y), p(x, z), r(z)")
+        assert has_homomorphism(small, large)
+        assert not has_homomorphism(large, small)
+
+    def test_negated_atoms_must_map_to_negated_atoms(self):
+        with_negation = parse_query("q(x, count()) :- p(x), not r(x)")
+        without = parse_query("q(x, count()) :- p(x)")
+        assert not has_homomorphism(with_negation, without)
+        assert not has_homomorphism(without, with_negation) or True  # positive part maps
+        # The positive-only query maps into the negated one (its atoms are a subset).
+        assert has_homomorphism(without, with_negation)
+
+    def test_comparisons_must_be_entailed(self):
+        strict = parse_query("q(x, max(y)) :- p(x, y), y > 2")
+        loose = parse_query("q(x, max(y)) :- p(x, y), y > 0")
+        # loose's comparison (y > 0) is entailed by strict's (y > 2): map loose -> strict.
+        assert has_homomorphism(loose, strict)
+        assert not has_homomorphism(strict, loose)
+
+    def test_constants_map_to_themselves(self):
+        first = parse_query("q(count()) :- p(3, y)")
+        second = parse_query("q(count()) :- p(4, y)")
+        assert not has_homomorphism(first, second)
+
+    def test_aggregate_functions_must_match(self):
+        first = parse_query("q(x, sum(y)) :- p(x, y)")
+        second = parse_query("q(x, max(y)) :- p(x, y)")
+        assert not has_homomorphism(first, second)
+
+    def test_homomorphism_with_variable_bound_by_equality(self):
+        first = parse_query("q(x) :- p(x, y), z = y, z > 0")
+        second = parse_query("q(x) :- p(x, y), y > 0")
+        assert has_homomorphism(first, second)
+
+    def test_disjunctive_queries_rejected(self):
+        disjunctive = parse_query("q(x) :- p(x) ; r(x)")
+        conjunctive = parse_query("q(x) :- p(x)")
+        with pytest.raises(MalformedQueryError):
+            find_homomorphism(disjunctive, conjunctive)
+
+    def test_enumeration_finds_multiple_homomorphisms(self):
+        source = parse_query("q(count()) :- p(y)")
+        target = parse_query("q(count()) :- p(y), p(z)")
+        assert len(list(homomorphisms(source, target))) == 2
+
+    def test_homomorphism_substitution_is_correct(self):
+        source = parse_query("q(x, sum(y)) :- p(x, y), r(w), w > 1")
+        target = parse_query("q(x, sum(y)) :- p(x, y), r(v), v > 2")
+        substitution = find_homomorphism(source, target)
+        assert substitution is not None
+        assert substitution[Variable("w")] == Variable("v")
+
+
+class TestIsomorphisms:
+    def test_renamed_queries_are_isomorphic(self):
+        first = parse_query("q(x, sum(y)) :- p(x, y), not r(y), y > 0")
+        second = parse_query("q(x, sum(y)) :- p(x, y), not r(y), 0 < y")
+        assert are_isomorphic(first, second)
+
+    def test_reordered_literals_are_isomorphic(self):
+        first = parse_query("q(x, max(y)) :- p(x, y), s(x, z), z < y")
+        second = parse_query("q(x, max(y)) :- s(x, w), p(x, y), w < y")
+        assert are_isomorphic(first, second)
+
+    def test_homomorphic_but_not_isomorphic(self):
+        small = parse_query("q(x) :- p(x, y)")
+        large = parse_query("q(x) :- p(x, y), r(y)")
+        assert has_homomorphism(small, large)
+        assert not are_isomorphic(small, large)
+
+    def test_extra_atom_breaks_isomorphism(self):
+        first = parse_query("q(x, count()) :- p(x, y)")
+        second = parse_query("q(x, count()) :- p(x, y), p(x, z)")
+        assert not are_isomorphic(first, second)
+
+    def test_different_comparison_strength_breaks_isomorphism(self):
+        first = parse_query("q(x, max(y)) :- p(x, y), y > 0")
+        second = parse_query("q(x, max(y)) :- p(x, y), y >= 0")
+        assert not are_isomorphic(first, second)
+
+    def test_isomorphism_mapping_is_a_bijection(self):
+        first = parse_query("q(x, sum(y)) :- p(x, y), s(x, z)")
+        second = parse_query("q(x, sum(y)) :- p(x, y), s(x, w)")
+        mapping = find_isomorphism(first, second)
+        assert mapping is not None
+        assert mapping[Variable("z")] == Variable("w")
+        images = [v for v in mapping.values() if isinstance(v, Variable)]
+        assert len(images) == len(set(images))
+
+    def test_isomorphisms_enumeration(self):
+        first = parse_query("q(count()) :- p(y), p(z)")
+        second = parse_query("q(count()) :- p(a), p(b)")
+        assert len(list(isomorphisms(first, second))) == 2
+
+    def test_negation_pattern_matters(self):
+        first = parse_query("q(x, count()) :- p(x, y), not r(x)")
+        second = parse_query("q(x, count()) :- p(x, y), not r(y)")
+        assert not are_isomorphic(first, second)
+
+    def test_paper_non_isomorphic_equivalent_example(self):
+        # Theorem 7.2 "(2) => (1)" direction: for a non singleton-determining
+        # function the queries q(cntd(d)) <- p(d) ∧ p(d') with different head
+        # constants are equivalent but not isomorphic.  Here we only check the
+        # isomorphism part: the heads differ, so no isomorphism exists.
+        first = parse_query("q(1, cntd(y)) :- p(1), p(2), y = 1")
+        second = parse_query("q(2, cntd(y)) :- p(1), p(2), y = 2")
+        assert not are_isomorphic(first, second)

@@ -1,0 +1,155 @@
+"""Tests for the abelian monoids of Section 2, including hypothesis-checked laws."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.monoids import (
+    BOT2_MONOID,
+    INTEGER_ADDITION,
+    MAX_MONOID,
+    MIN_MONOID,
+    NONZERO_MULTIPLICATION,
+    PARITY_MONOID,
+    RATIONAL_ADDITION,
+    TOP2_MONOID,
+    TopKMonoid,
+)
+from repro.errors import DomainError
+
+rationals = st.fractions(max_denominator=8, min_value=-20, max_value=20)
+integers = st.integers(min_value=-30, max_value=30)
+
+
+class TestStructuralFlags:
+    def test_groups(self):
+        for monoid in (INTEGER_ADDITION, RATIONAL_ADDITION, PARITY_MONOID, NONZERO_MULTIPLICATION):
+            assert monoid.is_group
+            assert not monoid.is_idempotent
+
+    def test_idempotent(self):
+        for monoid in (MAX_MONOID, MIN_MONOID, TOP2_MONOID, BOT2_MONOID):
+            assert monoid.is_idempotent
+            assert not monoid.is_group
+
+    def test_non_group_inverse_raises(self):
+        with pytest.raises(DomainError):
+            MAX_MONOID.inverse(3)
+
+    def test_zero_has_no_multiplicative_inverse(self):
+        with pytest.raises(DomainError):
+            NONZERO_MULTIPLICATION.inverse(0)
+
+
+class TestCheckLaws:
+    def test_all_monoid_laws_on_samples(self):
+        samples = {
+            INTEGER_ADDITION: [-3, 0, 2, 7],
+            RATIONAL_ADDITION: [Fraction(-1, 2), 0, Fraction(3, 4), 2],
+            PARITY_MONOID: [0, 1],
+            NONZERO_MULTIPLICATION: [Fraction(1, 2), 1, -2, 3],
+            MAX_MONOID: [None, -1, 0, 5],
+            MIN_MONOID: [None, -1, 0, 5],
+            TOP2_MONOID: [(), (3,), (5, 2), (7, 1)],
+            BOT2_MONOID: [(), (3,), (2, 5), (1, 7)],
+        }
+        for monoid, values in samples.items():
+            assert monoid.check_laws(values) is None, monoid.name
+
+
+class TestConcreteOperations:
+    def test_parity_addition(self):
+        assert PARITY_MONOID.operation(1, 1) == 0
+        assert PARITY_MONOID.operation(1, 0) == 1
+        assert PARITY_MONOID.inverse(1) == 1
+
+    def test_max_with_bottom(self):
+        assert MAX_MONOID.operation(None, 5) == 5
+        assert MAX_MONOID.operation(3, None) == 3
+        assert MAX_MONOID.operation(3, 5) == 5
+        assert MAX_MONOID.neutral() is None
+
+    def test_top2_examples_from_paper(self):
+        # (5,⊥) ⊕ (2,1) = (5,2); (5,2) ⊕ (5,1) = (5,2); (5,⊥) ⊕ (5,⊥) = (5,⊥).
+        assert TOP2_MONOID.operation((5,), (2, 1)) == (5, 2)
+        assert TOP2_MONOID.operation((5, 2), (5, 1)) == (5, 2)
+        assert TOP2_MONOID.operation((5,), (5,)) == (5,)
+
+    def test_topk_contains(self):
+        assert TOP2_MONOID.contains((5, 2))
+        assert not TOP2_MONOID.contains((2, 5))
+        assert not TOP2_MONOID.contains((5, 5))
+        assert not TOP2_MONOID.contains((5, 4, 3))
+        assert BOT2_MONOID.contains((2, 5))
+
+    def test_topk_requires_positive_k(self):
+        with pytest.raises(DomainError):
+            TopKMonoid(0)
+
+    def test_combine(self):
+        assert INTEGER_ADDITION.combine([1, 2, 3]) == 6
+        assert MAX_MONOID.combine([]) is None
+        assert TOP2_MONOID.combine([(1,), (4,), (4,), (2,)]) == (4, 2)
+
+    def test_subtract(self):
+        assert INTEGER_ADDITION.subtract(5, 3) == 2
+        assert NONZERO_MULTIPLICATION.subtract(6, 3) == 2
+        assert PARITY_MONOID.subtract(0, 1) == 1
+
+    def test_rational_addition_normalizes(self):
+        assert RATIONAL_ADDITION.operation(Fraction(1, 2), Fraction(1, 2)) == 1
+        assert isinstance(RATIONAL_ADDITION.operation(Fraction(1, 2), Fraction(1, 2)), int)
+
+    def test_contains(self):
+        assert INTEGER_ADDITION.contains(5) and not INTEGER_ADDITION.contains(Fraction(1, 2))
+        assert NONZERO_MULTIPLICATION.contains(Fraction(1, 3)) and not NONZERO_MULTIPLICATION.contains(0)
+        assert PARITY_MONOID.contains(1) and not PARITY_MONOID.contains(2)
+
+
+class TestHypothesisLaws:
+    @given(a=integers, b=integers, c=integers)
+    def test_integer_addition_laws(self, a, b, c):
+        monoid = INTEGER_ADDITION
+        assert monoid.operation(a, b) == monoid.operation(b, a)
+        assert monoid.operation(monoid.operation(a, b), c) == monoid.operation(a, monoid.operation(b, c))
+        assert monoid.operation(a, monoid.neutral()) == a
+        assert monoid.operation(a, monoid.inverse(a)) == monoid.neutral()
+
+    @given(a=rationals, b=rationals, c=rationals)
+    def test_rational_addition_laws(self, a, b, c):
+        monoid = RATIONAL_ADDITION
+        assert monoid.operation(a, b) == monoid.operation(b, a)
+        assert Fraction(monoid.operation(monoid.operation(a, b), c)) == Fraction(
+            monoid.operation(a, monoid.operation(b, c))
+        )
+
+    @given(
+        a=st.one_of(st.none(), rationals),
+        b=st.one_of(st.none(), rationals),
+        c=st.one_of(st.none(), rationals),
+    )
+    def test_max_monoid_laws(self, a, b, c):
+        monoid = MAX_MONOID
+        assert monoid.operation(a, b) == monoid.operation(b, a)
+        assert monoid.operation(monoid.operation(a, b), c) == monoid.operation(a, monoid.operation(b, c))
+        assert monoid.operation(a, a) == a
+        assert monoid.operation(a, monoid.neutral()) == a
+
+    @settings(max_examples=60)
+    @given(values=st.lists(st.lists(rationals, max_size=4), min_size=1, max_size=4))
+    def test_topk_associativity_and_idempotency(self, values):
+        monoid = TOP2_MONOID
+        elements = [monoid.combine([(v,) for v in sorted(set(vs), reverse=True)]) for vs in values]
+        total_left = monoid.combine(elements)
+        total_right = monoid.combine(reversed(elements))
+        assert total_left == total_right
+        for element in elements:
+            assert monoid.operation(element, element) == element
+
+    @given(a=st.sampled_from([Fraction(-3), Fraction(1, 2), 1, 2, -1]), b=st.sampled_from([Fraction(-3), Fraction(1, 2), 1, 2, -1]))
+    def test_multiplicative_group_laws(self, a, b):
+        monoid = NONZERO_MULTIPLICATION
+        assert Fraction(monoid.operation(a, b)) == Fraction(a) * Fraction(b)
+        assert Fraction(monoid.operation(a, monoid.inverse(a))) == 1

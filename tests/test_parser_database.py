@@ -1,0 +1,177 @@
+"""Tests for the Datalog parser, the query builder and databases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog import (
+    Comparison,
+    ComparisonOp,
+    Constant,
+    Database,
+    QueryBuilder,
+    Variable,
+    parse_database,
+    parse_query,
+)
+from repro.domains import Domain
+from repro.errors import DomainError, MalformedQueryError, QuerySyntaxError
+
+
+class TestParser:
+    def test_simple_aggregate_query(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y)")
+        assert query.name == "q"
+        assert query.head_terms == (Variable("x"),)
+        assert query.aggregate_function == "sum"
+
+    def test_nullary_count_with_and_without_parens(self):
+        assert parse_query("q(x, count()) :- p(x, y)").aggregate_function == "count"
+        assert parse_query("q(x, count) :- p(x, y)").aggregate_function == "count"
+        assert parse_query("q(x, parity) :- p(x, y)").aggregate_function == "parity"
+
+    def test_negation_forms(self):
+        for negation in ("not r(x)", "!r(x)", "~r(x)"):
+            query = parse_query(f"q(x, count()) :- p(x), {negation}")
+            assert len(query.disjuncts[0].negated_atoms) == 1
+
+    def test_disjunction(self):
+        query = parse_query("q(x) :- p(x) ; r(x), x > 0 | s(x, x)")
+        assert len(query.disjuncts) == 3
+
+    def test_comparisons_and_constants(self):
+        query = parse_query("q(x, max(y)) :- p(x, y), y >= 3, x != 1/2")
+        comparisons = query.disjuncts[0].comparisons
+        assert Comparison(Variable("y"), ComparisonOp.GE, Constant(3)) in comparisons
+        assert Comparison(Variable("x"), ComparisonOp.NE, Constant(Fraction(1, 2))) in comparisons
+
+    def test_negative_and_decimal_constants(self):
+        query = parse_query("q(x) :- p(x), x > -2, x < 2.5")
+        constants = {c.value for c in query.constants()}
+        assert -2 in constants and Fraction(5, 2) in constants
+
+    def test_alternate_rule_arrow(self):
+        assert parse_query("q(x) <- p(x)").name == "q"
+
+    def test_non_aggregate_query(self):
+        query = parse_query("q(x, y) :- p(x, y)")
+        assert not query.is_aggregate
+        assert len(query.head_terms) == 2
+
+    def test_top2_query(self):
+        assert parse_query("q(top2(y)) :- p(y)").aggregate_function == "top2"
+
+    def test_two_aggregates_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(sum(y), max(y)) :- p(y)")
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(Exception):
+            parse_query("q(x) :- p(y)")
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(x) :- p(x) @ r(x)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(x) :- p(x) extra(y)")
+
+    def test_negated_comparison_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(x) :- p(x), not x > 1")
+
+    def test_parse_database(self):
+        database = parse_database("p(1, 2). p(2, 3). r(1).")
+        assert len(database) == 3
+        assert database.contains("p", (1, 2))
+        assert database.contains("r", (1,))
+
+    def test_parse_database_requires_ground_facts(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_database("p(x).")
+
+
+class TestBuilder:
+    def test_builder_matches_parser(self):
+        built = (
+            QueryBuilder("q", head=["x"], aggregate=("sum", ["y"]))
+            .atom("p", "x", "y")
+            .negated("r", "x")
+            .compare("y", ">", 0)
+            .build()
+        )
+        parsed = parse_query("q(x, sum(y)) :- p(x, y), not r(x), y > 0")
+        assert built.head_terms == parsed.head_terms
+        assert built.aggregate == parsed.aggregate
+        assert set(built.disjuncts[0].literals) == set(parsed.disjuncts[0].literals)
+
+    def test_builder_disjuncts(self):
+        query = (
+            QueryBuilder("q", head=["x"])
+            .atom("p", "x")
+            .disjunct()
+            .atom("r", "x")
+            .build()
+        )
+        assert len(query.disjuncts) == 2
+
+    def test_builder_empty_disjunct_rejected(self):
+        with pytest.raises(MalformedQueryError):
+            QueryBuilder("q", head=["x"]).disjunct()
+
+    def test_builder_aggregate_arguments_must_be_variables(self):
+        with pytest.raises(MalformedQueryError):
+            QueryBuilder("q", head=["x"], aggregate=("sum", [1]))
+
+    def test_builder_equal_shortcut(self):
+        query = QueryBuilder("q", head=["x"]).atom("p", "x", "y").equal("y", 3).build()
+        assert Comparison(Variable("y"), ComparisonOp.EQ, Constant(3)) in query.disjuncts[0].comparisons
+
+
+class TestDatabase:
+    def test_carrier(self):
+        database = parse_database("p(1, 2). r(3).")
+        assert database.carrier() == frozenset({1, 2, 3})
+        assert database.carrier_size == 3
+
+    def test_relation_lookup(self):
+        database = parse_database("p(1, 2). p(3, 4).")
+        assert database.relation("p") == frozenset({(1, 2), (3, 4)})
+        assert database.relation("missing") == frozenset()
+
+    def test_set_algebra(self):
+        first = parse_database("p(1). p(2).")
+        second = parse_database("p(2). p(3).")
+        assert len(first.union(second)) == 3
+        assert first.intersection(second) == parse_database("p(2).")
+        assert first.difference(second) == parse_database("p(1).")
+        assert parse_database("p(1).").issubset(first)
+
+    def test_equality_and_hash(self):
+        assert parse_database("p(1). p(2).") == parse_database("p(2). p(1).")
+        assert hash(parse_database("p(1).")) == hash(parse_database("p(1)."))
+
+    def test_from_relations(self):
+        database = Database.from_relations({"p": [(1, 2), (3, 4)], "r": [(5,)]})
+        assert len(database) == 3
+        assert database.to_relations()["p"] == {(1, 2), (3, 4)}
+
+    def test_add_facts_and_restrict(self):
+        database = parse_database("p(1). r(2).")
+        extended = database.add_facts([("p", (9,))])
+        assert extended.contains("p", (9,))
+        assert extended.restrict_to_predicates(["p"]).predicates() == frozenset({"p"})
+
+    def test_duplicate_facts_collapse(self):
+        assert len(Database([("p", (1,)), ("p", (1,))])) == 1
+
+    def test_check_domain(self):
+        database = Database([("p", (Fraction(1, 2),))])
+        database.check_domain(Domain.RATIONALS)
+        with pytest.raises(DomainError):
+            database.check_domain(Domain.INTEGERS)
+
+    def test_values_normalized(self):
+        database = Database([("p", (2.0,))])
+        assert database.contains("p", (2,))

@@ -1,0 +1,155 @@
+"""Property-based integration tests.
+
+These tests tie the decision procedures to ground truth:
+
+* the bounded-equivalence procedure must agree with an exhaustive concrete
+  oracle on randomly generated query pairs,
+* the quasilinear fast path must agree with the general procedure,
+* a positive verdict of the top-level checker implies agreement on random
+  databases (soundness spot-check of Theorem 6.5's direction that matters in
+  practice).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Domain, are_equivalent, evaluate, parse_query
+from repro.core import bounded_equivalence, exhaustive_counterexample, local_equivalence
+from repro.core.quasilinear import quasilinear_equivalent
+from repro.datalog import Query
+from repro.workloads import QueryGenerator, QueryProfile
+
+#: Small hand-rolled pool of query templates over a unary predicate p and a
+#: unary predicate r; combined with random aggregation functions this gives a
+#: diverse but *small* space where exhaustive oracles are affordable.
+UNARY_BODIES = [
+    "p(y)",
+    "p(y), not r(y)",
+    "p(y), y > 0",
+    "p(y), 0 < y",
+    "p(y), y >= 0",
+    "p(y), r(y)",
+    "p(y) ; p(y), r(y)",
+    "p(y) ; p(y)",
+    "p(y), not r(y) ; p(y), r(y)",
+]
+
+FUNCTIONS = ["count", "sum", "max", "parity", "top2"]
+
+
+def build(function: str, body: str) -> Query:
+    head = f"q({function}(y))" if function not in ("count", "parity") else f"q({function}())"
+    return parse_query(f"{head} :- {body}")
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    function=st.sampled_from(FUNCTIONS),
+    first_body=st.sampled_from(UNARY_BODIES),
+    second_body=st.sampled_from(UNARY_BODIES),
+)
+def test_bounded_procedure_agrees_with_exhaustive_oracle(function, first_body, second_body):
+    """Both directions of soundness for N = 2:
+
+    * if the procedure claims 2-equivalence, no database with at most two
+      constants (drawn from a pool covering every order type around the query
+      constants) may distinguish the queries;
+    * if the procedure claims non-equivalence, its own counterexample — or one
+      found among the pool databases — must concretely distinguish them.
+    """
+    from repro.core.counterexample import enumerate_databases
+    from repro.datalog import combined_predicate_arities
+
+    first, second = build(function, first_body), build(function, second_body)
+    report = bounded_equivalence(first, second, 2, domain=Domain.RATIONALS)
+
+    pool = sorted(
+        {-2, -1, 0, 1, 2} | {c.value for c in first.constants() | second.constants()}
+    )
+    arities = combined_predicate_arities(first, second)
+    witness = None
+    for database in enumerate_databases(arities, pool):
+        if database.carrier_size > 2:
+            continue
+        if evaluate(first, database) != evaluate(second, database):
+            witness = database
+            break
+
+    if report.equivalent:
+        assert witness is None, (
+            f"{first} vs {second}: procedure claims 2-equivalence but {witness} distinguishes them"
+        )
+    else:
+        concrete = report.counterexample.database if report.counterexample else None
+        if concrete is not None:
+            assert evaluate(first, concrete) != evaluate(second, concrete)
+        else:
+            assert witness is not None, (
+                f"{first} vs {second}: procedure claims non-equivalence without any witness"
+            )
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    function=st.sampled_from(["sum", "max", "count"]),
+    first_body=st.sampled_from([b for b in UNARY_BODIES if ";" not in b]),
+    second_body=st.sampled_from([b for b in UNARY_BODIES if ";" not in b]),
+)
+def test_quasilinear_agrees_with_general_procedure(function, first_body, second_body):
+    first, second = build(function, first_body), build(function, second_body)
+    if not (first.is_quasilinear and second.is_quasilinear):
+        return
+    fast = quasilinear_equivalent(first, second)
+    slow = local_equivalence(first, second)
+    assert fast.equivalent == slow.equivalent, f"{first} vs {second}"
+
+
+class TestCheckerSoundnessOnRandomWorkloads:
+    @pytest.mark.parametrize("function", ["sum", "max", "count"])
+    def test_equivalent_verdicts_hold_on_random_databases(self, function):
+        profile = QueryProfile(
+            predicates={"p": 2, "r": 1},
+            aggregation_function=function,
+            quasilinear_only=True,
+            max_comparisons=1,
+            constants=(0, 2),
+        )
+        generator = QueryGenerator(profile, seed=hash(function) % 1000)
+        rng = random.Random(99)
+        checked = 0
+        for _ in range(15):
+            first, second = generator.query_pair()
+            result = are_equivalent(first, second)
+            if not result.is_equivalent:
+                continue
+            checked += 1
+            for _ in range(10):
+                database = generator.database(max_facts=8)
+                assert evaluate(first, database) == evaluate(second, database), (
+                    f"checker said equivalent but results differ: {first} vs {second} on {database}"
+                )
+        assert checked > 0
+
+    def test_not_equivalent_verdicts_have_witnesses_on_small_pools(self):
+        profile = QueryProfile(
+            predicates={"p": 1, "r": 1},
+            aggregation_function="count",
+            quasilinear_only=False,
+            max_disjuncts=2,
+            max_comparisons=1,
+            constants=(0,),
+        )
+        generator = QueryGenerator(profile, seed=77)
+        examined = 0
+        for _ in range(10):
+            first, second = generator.query_pair()
+            result = are_equivalent(first, second, max_subsets=2**22)
+            if result.is_equivalent:
+                continue
+            examined += 1
+            witness = exhaustive_counterexample(first, second, values=[0, 1, 2], max_facts=4)
+            assert witness is not None, f"no concrete witness for {first} vs {second}"
+        assert examined >= 0

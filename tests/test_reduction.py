@@ -1,0 +1,135 @@
+"""Tests for query reduction and satisfiability (Sections 4.2 and 7)."""
+
+import pytest
+
+from repro import Domain, parse_query
+from repro.core import (
+    condition_satisfiable,
+    entailed_substitution,
+    is_reduced,
+    query_satisfiable,
+    reduce_query,
+    satisfiable_disjuncts,
+)
+from repro.datalog import Constant, Variable
+from repro.errors import MalformedQueryError
+
+
+class TestEntailedSubstitution:
+    def test_variable_variable_equality(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y), p(z, y), x <= z, z <= x")
+        substitution = entailed_substitution(query.disjuncts[0], Domain.RATIONALS)
+        assert substitution.get(Variable("z")) == Variable("x") or substitution.get(
+            Variable("x")
+        ) == Variable("z")
+
+    def test_pinning_over_integers(self):
+        query = parse_query("q(x, count()) :- p(x), x > 3, x < 5")
+        substitution = entailed_substitution(query.disjuncts[0], Domain.INTEGERS)
+        assert substitution == {Variable("x"): Constant(4)}
+        assert entailed_substitution(query.disjuncts[0], Domain.RATIONALS) == {}
+
+    def test_unsatisfiable_condition_gives_empty_substitution(self):
+        query = parse_query("q(x, count()) :- p(x), x > 3, x < 2")
+        assert entailed_substitution(query.disjuncts[0], Domain.RATIONALS) == {}
+
+
+class TestReduceQuery:
+    def test_explicit_equality_is_eliminated(self):
+        query = parse_query("q(x, sum(y)) :- p(x, z), y = z")
+        reduced = reduce_query(query)
+        # After reduction the body no longer contains an entailed equality.
+        assert is_reduced(reduced)
+
+    def test_constant_moves_into_head(self):
+        query = parse_query("q(x, count()) :- p(x), x >= 2, x <= 2")
+        reduced = reduce_query(query)
+        assert reduced.head_terms == (Constant(2),)
+        assert is_reduced(reduced)
+
+    def test_aggregation_variable_never_becomes_constant(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y), y = 3")
+        reduced = reduce_query(query)
+        assert reduced.aggregate is not None
+        assert all(isinstance(argument, Variable) for argument in reduced.aggregate.arguments)
+        # The reduced query must still be semantically equivalent.
+        from repro.engine import evaluate_aggregate
+        from repro.datalog import parse_database
+
+        database = parse_database("p(1, 3). p(1, 4). p(2, 3).")
+        assert evaluate_aggregate(query, database) == evaluate_aggregate(reduced, database)
+
+    def test_grouping_and_aggregation_variables_stay_disjoint(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y), x <= y, y <= x")
+        reduced = reduce_query(query)
+        assert reduced.grouping_variables().isdisjoint(set(reduced.aggregation_variables()))
+
+    def test_reduction_preserves_semantics_on_random_databases(self, rng):
+        from repro.engine import evaluate_aggregate
+        from repro.workloads import QueryGenerator, QueryProfile
+
+        query = parse_query("q(x, max(y)) :- p(x, y), s(z, w), z = x, w >= 2, w <= 2")
+        reduced = reduce_query(query)
+        generator = QueryGenerator(QueryProfile(predicates={"p": 2, "s": 2}), seed=5)
+        for _ in range(20):
+            database = generator.database()
+            assert evaluate_aggregate(query, database) == evaluate_aggregate(reduced, database)
+
+    def test_disjunctive_query_rejected(self):
+        query = parse_query("q(x) :- p(x) ; r(x)")
+        with pytest.raises(MalformedQueryError):
+            reduce_query(query)
+
+    def test_already_reduced_query_unchanged_semantically(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y), y > 0")
+        reduced = reduce_query(query)
+        assert reduced.disjuncts[0].comparisons == query.disjuncts[0].comparisons
+
+    def test_is_reduced_detects_pinning(self):
+        query = parse_query("q(x, count()) :- p(x), x > 3, x < 5")
+        assert not is_reduced(query, Domain.INTEGERS)
+        assert is_reduced(query, Domain.RATIONALS)
+
+
+class TestSatisfiability:
+    def test_positive_query_satisfiable(self):
+        assert query_satisfiable(parse_query("q(x) :- p(x, y), x < y"))
+
+    def test_contradictory_comparisons(self):
+        assert not query_satisfiable(parse_query("q(x) :- p(x), x < 3, x > 4"))
+
+    def test_domain_dependent_satisfiability(self):
+        query = parse_query("q(x) :- p(x, y), x < y, y < x")  # contradictory cycle
+        assert not query_satisfiable(query)
+        squeeze = parse_query("q(x) :- p(x, y), 0 < x, x < y, y < 2")
+        assert query_satisfiable(squeeze, Domain.RATIONALS)
+        assert not query_satisfiable(squeeze, Domain.INTEGERS)
+
+    def test_negation_clash(self):
+        query = parse_query("q(x) :- p(x, x), not p(x, x)")
+        assert not query_satisfiable(query)
+
+    def test_negation_clash_only_under_forced_equality(self):
+        query = parse_query("q(x) :- p(x, y), not p(y, x)")
+        # Satisfiable: choose x != y.
+        assert query_satisfiable(query)
+        forced = parse_query("q(x) :- p(x, y), not p(y, x), x <= y, y <= x")
+        assert not query_satisfiable(forced)
+
+    def test_quasilinear_negation_never_clashes(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y), not r(x, y)")
+        assert query_satisfiable(query)
+
+    def test_disjunctive_query_satisfiable_if_any_disjunct_is(self):
+        query = parse_query("q(x) :- p(x), x < 1, x > 2 ; p(x), x > 0")
+        assert query_satisfiable(query)
+        assert len(satisfiable_disjuncts(query).disjuncts) == 1
+
+    def test_condition_satisfiable_without_terms(self):
+        query = parse_query("q(1) :- p(1)")
+        assert condition_satisfiable(query.disjuncts[0])
+
+    def test_integer_pinning_creates_clash(self):
+        # Over Z, 0 < x < 2 and 0 < y < 2 force x = y = 1, so p(x) ∧ ¬p(y) clashes.
+        query = parse_query("q(x) :- p(x), not p(y), y = x, x > 0, x < 2")
+        assert not query_satisfiable(query, Domain.INTEGERS)

@@ -1,0 +1,171 @@
+"""Tests for the SQL frontend."""
+
+import pytest
+
+from repro import Verdict, are_equivalent, evaluate, parse_database
+from repro.core import as_count_query
+from repro.errors import QuerySyntaxError
+from repro.sql import SqlTranslator, parse_sql, sql_to_query
+
+SCHEMA = {
+    "sales": ["store", "product", "amount"],
+    "returns": ["store", "product"],
+    "discontinued": ["product"],
+    "stores": ["store", "region"],
+}
+
+
+class TestSqlParser:
+    def test_basic_select(self):
+        statement = parse_sql("SELECT store, SUM(amount) FROM sales GROUP BY store")
+        assert [c.column for c in statement.columns] == ["store"]
+        assert statement.aggregate.function == "sum"
+        assert statement.group_by[0].column == "store"
+
+    def test_count_star_and_count_distinct(self):
+        assert parse_sql("SELECT COUNT(*) FROM sales").aggregate.function == "count"
+        statement = parse_sql("SELECT COUNT(DISTINCT product) FROM sales")
+        assert statement.aggregate.function == "cntd"
+        assert statement.aggregate.distinct
+
+    def test_where_conditions(self):
+        statement = parse_sql("SELECT store FROM sales WHERE amount > 10 AND store = 3")
+        assert len(statement.comparisons) == 2
+
+    def test_not_exists(self):
+        statement = parse_sql(
+            "SELECT store FROM sales WHERE NOT EXISTS "
+            "(SELECT * FROM returns WHERE returns.store = sales.store AND returns.product = sales.product)"
+        )
+        assert len(statement.not_exists) == 1
+        assert statement.not_exists[0].table.table == "returns"
+
+    def test_aliases(self):
+        statement = parse_sql("SELECT s.store FROM sales AS s, stores t WHERE s.store = t.store")
+        assert statement.tables[0].alias == "s"
+        assert statement.tables[1].alias == "t"
+
+    def test_nested_not_exists_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_sql(
+                "SELECT store FROM sales WHERE NOT EXISTS (SELECT * FROM returns WHERE "
+                "NOT EXISTS (SELECT * FROM discontinued))"
+            )
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_sql("SELECT store FROM sales LIMIT 5")
+
+    def test_round_trip_str(self):
+        text = "SELECT store, SUM(amount) FROM sales WHERE amount > 10 GROUP BY store"
+        assert "SUM" in str(parse_sql(text))
+
+
+class TestTranslation:
+    def test_group_by_aggregate(self):
+        query = sql_to_query(
+            "SELECT store, SUM(amount) FROM sales WHERE amount > 10 GROUP BY store", SCHEMA
+        )
+        assert query.is_aggregate and query.aggregate_function == "sum"
+        assert query.is_quasilinear
+        assert len(query.disjuncts[0].comparisons) == 1
+
+    def test_join_via_equality(self):
+        query = sql_to_query(
+            "SELECT sales.store FROM sales, stores WHERE sales.store = stores.store",
+            SCHEMA,
+        )
+        atoms = query.disjuncts[0].positive_atoms
+        assert len(atoms) == 2
+        sales_atom = next(a for a in atoms if a.predicate == "sales")
+        stores_atom = next(a for a in atoms if a.predicate == "stores")
+        assert sales_atom.arguments[0] == stores_atom.arguments[0]
+
+    def test_not_exists_becomes_negated_atom(self):
+        query = sql_to_query(
+            "SELECT store, SUM(amount) FROM sales WHERE NOT EXISTS "
+            "(SELECT * FROM returns WHERE returns.store = sales.store AND returns.product = sales.product) "
+            "GROUP BY store",
+            SCHEMA,
+        )
+        negated = query.disjuncts[0].negated_atoms
+        assert len(negated) == 1 and negated[0].predicate == "returns"
+
+    def test_not_exists_with_constant_binding(self):
+        query = sql_to_query(
+            "SELECT product FROM sales WHERE NOT EXISTS "
+            "(SELECT * FROM discontinued WHERE discontinued.product = sales.product)",
+            SCHEMA,
+        )
+        assert query.disjuncts[0].negated_atoms[0].predicate == "discontinued"
+
+    def test_unbound_not_exists_column_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            sql_to_query(
+                "SELECT store FROM sales WHERE NOT EXISTS (SELECT * FROM returns)", SCHEMA
+            )
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            sql_to_query("SELECT x FROM nowhere", SCHEMA)
+
+    def test_ambiguous_column_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            sql_to_query("SELECT store FROM sales, returns", SCHEMA)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            sql_to_query("SELECT sales.price FROM sales", SCHEMA)
+
+    def test_translation_evaluates_correctly(self):
+        query = sql_to_query(
+            "SELECT store, SUM(amount) FROM sales WHERE NOT EXISTS "
+            "(SELECT * FROM returns WHERE returns.store = sales.store AND returns.product = sales.product) "
+            "GROUP BY store",
+            SCHEMA,
+        )
+        database = parse_database(
+            "sales(1, 10, 5). sales(1, 11, 7). sales(2, 10, 3). returns(1, 11)."
+        )
+        assert evaluate(query, database) == {(1,): 5, (2,): 3}
+
+    def test_count_star_translation(self):
+        query = sql_to_query("SELECT store, COUNT(*) FROM sales GROUP BY store", SCHEMA)
+        assert query.aggregate_function == "count"
+        database = parse_database("sales(1, 10, 5). sales(1, 11, 7).")
+        assert evaluate(query, database) == {(1,): 2}
+
+
+class TestSqlEquivalence:
+    def test_reordered_where_clauses_are_equivalent(self):
+        translator = SqlTranslator(SCHEMA)
+        first = translator.translate(
+            "SELECT store, SUM(amount) FROM sales WHERE amount > 10 AND NOT EXISTS "
+            "(SELECT * FROM returns WHERE returns.store = sales.store AND returns.product = sales.product) "
+            "GROUP BY store"
+        )
+        second = translator.translate(
+            "SELECT store, SUM(amount) FROM sales WHERE NOT EXISTS "
+            "(SELECT * FROM returns WHERE returns.product = sales.product AND returns.store = sales.store) "
+            "AND 10 < amount GROUP BY store"
+        )
+        assert are_equivalent(first, second).verdict is Verdict.EQUIVALENT
+
+    def test_different_filters_are_not_equivalent(self):
+        translator = SqlTranslator(SCHEMA)
+        first = translator.translate(
+            "SELECT store, MAX(amount) FROM sales WHERE amount > 10 GROUP BY store"
+        )
+        second = translator.translate(
+            "SELECT store, MAX(amount) FROM sales WHERE amount >= 10 GROUP BY store"
+        )
+        assert are_equivalent(first, second).verdict is Verdict.NOT_EQUIVALENT
+
+    def test_sql_bag_semantics_via_count_queries(self):
+        translator = SqlTranslator(SCHEMA)
+        first = translator.translate("SELECT store FROM sales")
+        second = translator.translate(
+            "SELECT sales.store FROM sales, stores WHERE sales.store = stores.store"
+        )
+        count_first, count_second = as_count_query(first), as_count_query(second)
+        assert are_equivalent(count_first, count_second).verdict is Verdict.NOT_EQUIVALENT

@@ -1,0 +1,156 @@
+"""Tests for symbolic evaluation over S_L databases (Theorem 4.8 machinery)."""
+
+import pytest
+
+from repro.datalog import Constant, RelationalAtom, Variable, parse_query
+from repro.domains import Domain
+from repro.engine import (
+    SymbolicDatabase,
+    symbolic_answer_multiset,
+    symbolic_groups,
+    symbolic_satisfying_assignments,
+)
+from repro.errors import EvaluationError
+from repro.orderings import CompleteOrdering
+
+U0, U1, U2 = Variable("_u0"), Variable("_u1"), Variable("_u2")
+
+
+def make_ordering(blocks, domain=Domain.RATIONALS):
+    return CompleteOrdering(tuple(frozenset(b) for b in blocks), domain)
+
+
+def sdb(atoms, blocks, domain=Domain.RATIONALS):
+    return SymbolicDatabase(frozenset(atoms), make_ordering(blocks, domain))
+
+
+class TestSymbolicDatabase:
+    def test_rejects_negated_atoms(self):
+        with pytest.raises(EvaluationError):
+            sdb([RelationalAtom("p", (U0,), negated=True)], [{U0}])
+
+    def test_canonical_relations_collapse_equal_terms(self):
+        database = sdb(
+            [RelationalAtom("p", (U0,)), RelationalAtom("p", (U1,))],
+            [{U0, U1}],
+        )
+        assert len(database.relation("p")) == 1
+        assert database.carrier_terms == frozenset({U0})
+
+    def test_constants_are_their_own_representatives(self):
+        database = sdb([RelationalAtom("p", (Constant(3), U0))], [{Constant(3)}, {U0}])
+        assert database.contains("p", (Constant(3), U0))
+
+    def test_instantiate_produces_concrete_database(self):
+        database = sdb(
+            [RelationalAtom("p", (U0, U1)), RelationalAtom("p", (U1, U1))],
+            [{U0}, {U1}],
+        )
+        concrete = database.instantiate()
+        assert len(concrete) == 2
+        assert concrete.carrier_size == 2
+
+    def test_instantiate_collapses_equal_blocks(self):
+        database = sdb(
+            [RelationalAtom("p", (U0,)), RelationalAtom("p", (U1,))],
+            [{U0, U1}],
+        )
+        assert len(database.instantiate()) == 1
+
+
+class TestSymbolicEvaluation:
+    def test_positive_matching(self):
+        query = parse_query("q(x, count()) :- p(x, y)")
+        database = sdb(
+            [RelationalAtom("p", (U0, U1)), RelationalAtom("p", (U0, U0))],
+            [{U0}, {U1}],
+        )
+        assignments = symbolic_satisfying_assignments(query, database)
+        assert len(assignments) == 2
+
+    def test_negation_respects_ordering_equalities(self):
+        query = parse_query("q(x, count()) :- p(x), not r(x)")
+        # r(u1) is present and u0 = u1, so the negated atom blocks u0.
+        database = sdb(
+            [RelationalAtom("p", (U0,)), RelationalAtom("r", (U1,))],
+            [{U0, U1}],
+        )
+        assert symbolic_satisfying_assignments(query, database) == []
+        # With distinct blocks the assignment survives.
+        database2 = sdb(
+            [RelationalAtom("p", (U0,)), RelationalAtom("r", (U1,))],
+            [{U0}, {U1}],
+        )
+        assert len(symbolic_satisfying_assignments(query, database2)) == 1
+
+    def test_comparisons_evaluated_via_ordering(self):
+        query = parse_query("q(count()) :- p(y), y > 0")
+        zero = Constant(0)
+        above = sdb([RelationalAtom("p", (U0,))], [{zero}, {U0}])
+        below = sdb([RelationalAtom("p", (U0,))], [{U0}, {zero}])
+        assert len(symbolic_satisfying_assignments(query, above)) == 1
+        assert symbolic_satisfying_assignments(query, below) == []
+
+    def test_query_constant_must_match_database_term(self):
+        query = parse_query("q(count()) :- p(3, y)")
+        three = Constant(3)
+        database = sdb([RelationalAtom("p", (three, U0))], [{three}, {U0}])
+        assert len(symbolic_satisfying_assignments(query, database)) == 1
+        database2 = sdb([RelationalAtom("p", (U1, U0))], [{three}, {U0}, {U1}])
+        assert symbolic_satisfying_assignments(query, database2) == []
+
+    def test_query_constant_equated_with_variable_block(self):
+        query = parse_query("q(count()) :- p(3, y)")
+        three = Constant(3)
+        database = sdb([RelationalAtom("p", (U1, U0))], [{three, U1}, {U0}])
+        assert len(symbolic_satisfying_assignments(query, database)) == 1
+
+    def test_groups_collect_term_bags(self):
+        query = parse_query("q(x, sum(y)) :- p(x, y)")
+        database = sdb(
+            [
+                RelationalAtom("p", (U0, U1)),
+                RelationalAtom("p", (U0, U2)),
+                RelationalAtom("p", (U1, U2)),
+            ],
+            [{U0}, {U1}, {U2}],
+        )
+        groups = symbolic_groups(query, database)
+        assert set(groups) == {(U0,), (U1,)}
+        assert sorted(groups[(U0,)]) == sorted([(U1,), (U2,)])
+
+    def test_answer_multiset_counts_disjuncts(self):
+        query = parse_query("q(x) :- p(x) ; p(x)")
+        database = sdb([RelationalAtom("p", (U0,))], [{U0}])
+        assert symbolic_answer_multiset(query, database) == {(U0,): 2}
+
+    def test_disjunctive_symbolic_groups(self):
+        query = parse_query("q(x, count()) :- p(x, y) ; r(x, y)")
+        database = sdb(
+            [RelationalAtom("p", (U0, U1)), RelationalAtom("r", (U0, U1))],
+            [{U0}, {U1}],
+        )
+        groups = symbolic_groups(query, database)
+        assert len(groups[(U0,)]) == 2
+
+    def test_symbolic_agrees_with_concrete_on_instantiation(self):
+        from repro.engine import evaluate_aggregate
+
+        query = parse_query("q(x, count()) :- p(x, y), not r(y), y > 0")
+        zero = Constant(0)
+        database = sdb(
+            [
+                RelationalAtom("p", (U0, U1)),
+                RelationalAtom("p", (U0, U2)),
+                RelationalAtom("r", (U2,)),
+            ],
+            [{zero}, {U0}, {U1}, {U2}],
+        )
+        groups = symbolic_groups(query, database)
+        concrete = evaluate_aggregate(query, database.instantiate())
+        assignment = database.ordering.instantiate()
+        translated = {
+            tuple(assignment[t] if t in assignment else t.value for t in key): len(bag)
+            for key, bag in groups.items()
+        }
+        assert translated == concrete

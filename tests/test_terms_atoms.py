@@ -1,0 +1,150 @@
+"""Tests for terms, atoms and literals."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datalog.atoms import Comparison, ComparisonOp, GroundAtom, RelationalAtom
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    constants_of,
+    make_term,
+    make_terms,
+    substitute_terms,
+    variables_of,
+)
+from repro.errors import QuerySyntaxError
+
+
+class TestTerms:
+    def test_variable_identity(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert hash(Variable("x")) == hash(Variable("x"))
+
+    def test_variable_requires_name(self):
+        with pytest.raises(QuerySyntaxError):
+            Variable("")
+
+    def test_constant_normalizes_floats(self):
+        assert Constant(0.5).value == Fraction(1, 2)
+        assert Constant(2.0).value == 2
+
+    def test_constant_equality_across_representations(self):
+        assert Constant(Fraction(4, 2)) == Constant(2)
+
+    def test_make_term_dispatch(self):
+        assert make_term("x") == Variable("x")
+        assert make_term("3") == Constant(3)
+        assert make_term("-2") == Constant(-2)
+        assert make_term("1/2") == Constant(Fraction(1, 2))
+        assert make_term(7) == Constant(7)
+        assert make_term(Variable("z")) == Variable("z")
+
+    def test_make_term_rejects_empty(self):
+        with pytest.raises(QuerySyntaxError):
+            make_term("   ")
+
+    def test_make_terms(self):
+        assert make_terms(["x", 1]) == (Variable("x"), Constant(1))
+
+    def test_substitute_terms(self):
+        mapping = {Variable("x"): Constant(1)}
+        assert substitute_terms((Variable("x"), Variable("y"), Constant(2)), mapping) == (
+            Constant(1),
+            Variable("y"),
+            Constant(2),
+        )
+
+    def test_variables_and_constants_of(self):
+        terms = (Variable("x"), Constant(1), Variable("y"))
+        assert variables_of(terms) == {Variable("x"), Variable("y")}
+        assert constants_of(terms) == {Constant(1)}
+
+    def test_term_predicates(self):
+        assert Variable("x").is_variable and not Variable("x").is_constant
+        assert Constant(1).is_constant and not Constant(1).is_variable
+
+
+class TestRelationalAtom:
+    def test_atom_basics(self):
+        atom = RelationalAtom("p", (Variable("x"), Constant(3)))
+        assert atom.arity == 2
+        assert atom.is_positive
+        assert not atom.is_ground
+        assert atom.variables() == {Variable("x")}
+        assert atom.constants() == {Constant(3)}
+
+    def test_negation_round_trip(self):
+        atom = RelationalAtom("p", (Variable("x"),))
+        negated = atom.negate()
+        assert negated.negated
+        assert negated.positive() == atom
+        assert negated.negate() == atom
+
+    def test_substitute(self):
+        atom = RelationalAtom("p", (Variable("x"), Variable("y")), negated=True)
+        result = atom.substitute({Variable("x"): Constant(1)})
+        assert result == RelationalAtom("p", (Constant(1), Variable("y")), negated=True)
+
+    def test_ground_atom(self):
+        atom = RelationalAtom("p", (Constant(1), Constant(2)))
+        assert atom.is_ground
+
+    def test_string_rendering(self):
+        atom = RelationalAtom("p", (Variable("x"),), negated=True)
+        assert str(atom) == "not p(x)"
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            RelationalAtom("", (Variable("x"),))
+
+
+class TestComparison:
+    def test_operator_parsing(self):
+        assert ComparisonOp.from_symbol("<=") is ComparisonOp.LE
+        assert ComparisonOp.from_symbol("<>") is ComparisonOp.NE
+        assert ComparisonOp.from_symbol("==") is ComparisonOp.EQ
+
+    def test_unknown_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            ComparisonOp.from_symbol("<<")
+
+    def test_flip_and_negate(self):
+        assert ComparisonOp.LT.flip() is ComparisonOp.GT
+        assert ComparisonOp.LE.negate() is ComparisonOp.GT
+        assert ComparisonOp.NE.negate() is ComparisonOp.EQ
+
+    def test_holds(self):
+        assert ComparisonOp.LT.holds(1, 2)
+        assert not ComparisonOp.GE.holds(1, 2)
+        assert ComparisonOp.NE.holds(1, 2)
+
+    def test_comparison_flip_preserves_meaning(self):
+        comparison = Comparison(Variable("x"), ComparisonOp.LT, Constant(3))
+        flipped = comparison.flip()
+        assert flipped.left == Constant(3) and flipped.op is ComparisonOp.GT
+
+    def test_evaluate_ground(self):
+        assert Comparison(Constant(1), ComparisonOp.LT, Constant(2)).evaluate_ground()
+        assert not Comparison(Constant(2), ComparisonOp.LT, Constant(1)).evaluate_ground()
+
+    def test_evaluate_ground_requires_constants(self):
+        with pytest.raises(QuerySyntaxError):
+            Comparison(Variable("x"), ComparisonOp.LT, Constant(1)).evaluate_ground()
+
+    def test_is_equality(self):
+        assert Comparison(Variable("x"), ComparisonOp.EQ, Constant(1)).is_equality
+        assert not Comparison(Variable("x"), ComparisonOp.LE, Constant(1)).is_equality
+
+
+class TestGroundAtom:
+    def test_ground_atom_equality(self):
+        assert GroundAtom("p", (1, 2)) == GroundAtom("p", (1, 2))
+        assert GroundAtom("p", (1, 2)) != GroundAtom("p", (2, 1))
+
+    def test_ground_atom_arity_and_str(self):
+        atom = GroundAtom("edge", (1, 2))
+        assert atom.arity == 2
+        assert str(atom) == "edge(1, 2)"

@@ -1,0 +1,119 @@
+"""Tests for the workload generators and the warehouse scenario."""
+
+import pytest
+
+from repro import Verdict, are_equivalent, evaluate
+from repro.domains import Domain
+from repro.workloads import (
+    QueryGenerator,
+    QueryProfile,
+    WAREHOUSE_SCHEMA,
+    build_warehouse,
+    linear_chain_query,
+    renamed_copy,
+)
+
+
+class TestQueryGenerator:
+    def test_generated_queries_are_well_formed(self):
+        generator = QueryGenerator(seed=1)
+        for _ in range(25):
+            query = generator.query()
+            assert query.is_aggregate
+            assert all(disjunct.is_safe() for disjunct in query.disjuncts)
+
+    def test_quasilinear_profile(self):
+        generator = QueryGenerator(
+            QueryProfile(aggregation_function="max", quasilinear_only=True), seed=2
+        )
+        for _ in range(25):
+            assert generator.query().is_quasilinear
+
+    def test_nullary_aggregation_functions(self):
+        generator = QueryGenerator(QueryProfile(aggregation_function="count"), seed=3)
+        query = generator.query()
+        assert query.aggregate is not None and query.aggregate.arguments == ()
+
+    def test_non_aggregate_profile(self):
+        generator = QueryGenerator(QueryProfile(aggregation_function=None), seed=4)
+        assert not generator.query().is_aggregate
+
+    def test_determinism(self):
+        first = QueryGenerator(seed=7).query()
+        second = QueryGenerator(seed=7).query()
+        assert str(first) == str(second)
+
+    def test_generated_databases_evaluate(self):
+        generator = QueryGenerator(seed=5)
+        for _ in range(10):
+            query = generator.query()
+            database = generator.database()
+            evaluate(query, database)
+
+    def test_database_respects_domain(self):
+        generator = QueryGenerator(seed=6)
+        database = generator.database(domain=Domain.INTEGERS, values=[0, 1, 2])
+        database.check_domain(Domain.INTEGERS)
+
+    def test_query_pair_sometimes_renames(self):
+        generator = QueryGenerator(seed=8)
+        renamed_seen = False
+        for _ in range(20):
+            first, second = generator.query_pair()
+            if first.predicates() == second.predicates() and len(str(first)) == len(str(second)):
+                renamed_seen = True
+        assert renamed_seen
+
+
+class TestLinearChain:
+    def test_chain_structure(self):
+        query = linear_chain_query(5, function="sum")
+        assert query.is_linear
+        assert len(query.disjuncts[0].positive_atoms) == 5
+        assert query.term_size == 7  # 6 variables + constant 0
+
+    def test_chain_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            linear_chain_query(0)
+
+    def test_nullary_chain(self):
+        query = linear_chain_query(3, function="count")
+        assert query.aggregate is not None and query.aggregate.arguments == ()
+
+    def test_renamed_copy_is_equivalent(self):
+        query = linear_chain_query(3, function="max")
+        copy = renamed_copy(query)
+        assert str(copy) != str(query)
+        assert are_equivalent(query, copy).verdict is Verdict.EQUIVALENT
+
+
+class TestWarehouse:
+    def test_schema_and_size(self, warehouse):
+        assert set(warehouse.database.predicates()) <= set(WAREHOUSE_SCHEMA)
+        assert warehouse.fact_count > 10
+
+    def test_deterministic_construction(self):
+        assert build_warehouse(seed=3).database == build_warehouse(seed=3).database
+
+    def test_queries_evaluate(self, warehouse):
+        for name, query in warehouse.queries.items():
+            result = evaluate(query, warehouse.database)
+            assert isinstance(result, dict), name
+
+    def test_revenue_reorderings_are_equivalent(self, warehouse):
+        result = are_equivalent(
+            warehouse.queries["revenue_per_store"], warehouse.queries["revenue_per_store_alt"]
+        )
+        assert result.verdict is Verdict.EQUIVALENT
+
+    def test_dropping_a_negation_is_not_equivalent(self, warehouse):
+        result = are_equivalent(
+            warehouse.queries["revenue_per_store"], warehouse.queries["revenue_keep_returns"]
+        )
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+
+    def test_revenue_values_differ_on_the_instance(self):
+        warehouse = build_warehouse(stores=4, products=6, sales_per_store=10, seed=2)
+        full = evaluate(warehouse.queries["revenue_per_store"], warehouse.database)
+        keep = evaluate(warehouse.queries["revenue_keep_returns"], warehouse.database)
+        assert full != keep
