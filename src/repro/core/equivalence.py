@@ -15,6 +15,12 @@ procedure the paper provides for them:
    ``prod`` over the integers) — the paper leaves the problem open; the checker
    runs a counterexample search and a bounded check, and reports ``UNKNOWN``
    when neither settles the question.
+
+Pairs using *different* aggregation functions are also outside the paper's
+decidable classes (differing names do not imply differing semantics — a ``sum``
+of values pinned to 1 is a ``count``), so they get the same treatment as the
+open fragment: ``NOT_EQUIVALENT`` with a concrete witness when the search finds
+one, ``UNKNOWN`` otherwise.
 """
 
 from __future__ import annotations
@@ -107,11 +113,36 @@ def are_equivalent(
 
     assert first.aggregate is not None and second.aggregate is not None
     if first.aggregate.function != second.aggregate.function:
+        # Differing function names do NOT imply non-equivalence: e.g.
+        # q(s, sum(a)) :- r(s, a), a = 1  and  q(s, count()) :- r(s, a), a = 1
+        # agree on every database.  The paper only settles same-function
+        # pairs, so search for a concrete witness and otherwise report
+        # UNKNOWN instead of claiming NOT_EQUIVALENT without one.
+        witness = find_counterexample(
+            first, second, domain=domain, trials=counterexample_trials
+        )
+        if witness is not None:
+            from ..engine.evaluator import evaluate
+
+            return EquivalenceResult(
+                Verdict.NOT_EQUIVALENT,
+                method="counterexample search (different aggregation functions)",
+                domain=domain,
+                counterexample=Counterexample(
+                    database=witness,
+                    left_result=evaluate(first, witness),
+                    right_result=evaluate(second, witness),
+                ),
+                details="a distinguishing database was found",
+            )
         return EquivalenceResult(
-            Verdict.NOT_EQUIVALENT,
-            method="syntactic",
+            Verdict.UNKNOWN,
+            method="different aggregation functions",
             domain=domain,
-            details="the queries use different aggregation functions",
+            details=(
+                "the queries use different aggregation functions; the paper only "
+                "settles pairs sharing a function, and no counterexample was found"
+            ),
         )
     function = get_function(first.aggregate.function)
 
@@ -121,7 +152,9 @@ def are_equivalent(
         if not verdict.equivalent:
             # The isomorphism argument is non-constructive; attach a concrete
             # witness when a quick search finds one.
-            witness = find_counterexample(first, second, domain=domain, trials=200)
+            witness = find_counterexample(
+                first, second, domain=domain, trials=counterexample_trials
+            )
             if witness is not None:
                 from ..engine.evaluator import evaluate
 

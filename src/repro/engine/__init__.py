@@ -1,32 +1,98 @@
-"""Query evaluation: concrete databases and symbolic databases S_L."""
+"""Query evaluation: concrete databases and symbolic databases S_L.
+
+Architecture
+============
+
+Both engines share a three-stage pipeline:
+
+1. **Planning** (:mod:`repro.engine.planner`).  Each condition (disjunct) is
+   compiled once into a :class:`~repro.engine.planner.Plan`: positive atoms
+   ordered greedily by the number of already-bound argument positions (ties
+   broken towards the smaller relation), with every equality-definition
+   (``BindStep``), comparison filter (``CompareStep``) and negated-atom
+   anti-join (``NegationStep``) placed at the earliest point all its variables
+   are bound.  Plans depend only on the condition and the relation *sizes*, so
+   they are cached per ``(condition, size signature)``.
+
+2. **Indexed execution**.  The executors (``execute_plan`` for concrete
+   databases, ``execute_symbolic_plan`` for symbolic ones) extend partial
+   assignments step by step.  An ``AtomStep`` with bound columns probes a
+   lazy per-``(predicate, columns)`` hash index supplied by the database
+   instead of scanning the relation.
+
+   Index invariants: databases are immutable, so an index never goes stale;
+   an index maps each projection of a row onto the indexed columns to the
+   tuple of full rows sharing that projection; a key absent from the index
+   means no row matches; the empty column tuple is never indexed (it denotes
+   a full scan).  Symbolic indexes hold block representatives — rows are
+   canonicalized through the ordering before indexing, matching the
+   canonical relations they index.
+
+3. **Memoization**.  ``Γ(q, D)`` (and its symbolic counterpart
+   ``Γ(q, S_L)``) is cached per ``(query, database)`` pair, both immutable
+   and hashable.  Counterexample searches, bounded-equivalence runs and
+   equivalence matrices re-evaluate the same pairs constantly; each distinct
+   pair is now computed once.  ``clear_evaluation_caches`` /
+   ``clear_symbolic_caches`` reset the caches (benchmarks use them for
+   cold-cache timings).
+
+``naive_satisfying_assignments`` retains the original nested-loop engine as an
+executable specification for differential testing and benchmarking.
+"""
 
 from .evaluator import (
     LabeledAssignment,
+    clear_evaluation_caches,
     evaluate,
     evaluate_aggregate,
     evaluate_bag_set,
     evaluate_set,
+    execute_plan,
     group_assignments,
+    naive_satisfying_assignments,
     results_equal,
     satisfying_assignments,
+)
+from .planner import (
+    AtomStep,
+    BindStep,
+    CompareStep,
+    NegationStep,
+    Plan,
+    clear_plan_cache,
+    plan_condition,
 )
 from .symbolic import (
     SymbolicAssignment,
     SymbolicDatabase,
+    clear_symbolic_caches,
+    execute_symbolic_plan,
     symbolic_answer_multiset,
     symbolic_groups,
     symbolic_satisfying_assignments,
 )
 
 __all__ = [
+    "AtomStep",
+    "BindStep",
+    "CompareStep",
     "LabeledAssignment",
+    "NegationStep",
+    "Plan",
     "SymbolicAssignment",
     "SymbolicDatabase",
+    "clear_evaluation_caches",
+    "clear_plan_cache",
+    "clear_symbolic_caches",
     "evaluate",
     "evaluate_aggregate",
     "evaluate_bag_set",
     "evaluate_set",
+    "execute_plan",
+    "execute_symbolic_plan",
     "group_assignments",
+    "naive_satisfying_assignments",
+    "plan_condition",
     "results_equal",
     "satisfying_assignments",
     "symbolic_answer_multiset",

@@ -10,22 +10,36 @@ This module implements the semantics of Sections 3.2 and 3.4 of the paper:
 * aggregate evaluation: grouping the satisfying assignments by the grouping
   variables, restricting each group to the aggregation variables and applying
   the aggregation function.
+
+Assignments are enumerated by executing the plans produced by
+:mod:`repro.engine.planner`: positive atoms are joined in planner order,
+probing the database's per-column hash indexes on the already-bound columns,
+and comparisons / negated atoms filter as soon as their variables are bound.
+``Γ(q, D)`` is memoized per ``(query, database)`` pair — both are immutable —
+so repeated evaluations (counterexample searches, equivalence matrices) pay
+for each distinct pair once.
+
+:func:`naive_satisfying_assignments` retains the original nested-loop engine
+as an executable specification; the differential tests and the scaling
+benchmark compare the planned engine against it.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Mapping, Optional
 
 from ..aggregates.functions import AggregationFunction, get_function
-from ..datalog.atoms import Comparison, GroundAtom, RelationalAtom
+from ..datalog.atoms import RelationalAtom
 from ..datalog.conditions import Condition
 from ..datalog.database import Database
 from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..domains import NumericValue
 from ..errors import EvaluationError
+from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
 
 
 @dataclass(frozen=True)
@@ -39,6 +53,11 @@ class LabeledAssignment:
     mapping: tuple[tuple[Variable, NumericValue], ...]
     disjunct_index: int
 
+    def __post_init__(self) -> None:
+        # Dict-backed lookup for value_of; equality and hashing still use the
+        # canonical sorted tuple, so the cache is invisible to callers.
+        object.__setattr__(self, "_lookup", dict(self.mapping))
+
     @classmethod
     def from_dict(cls, mapping: Mapping[Variable, NumericValue], disjunct_index: int):
         ordered = tuple(sorted(mapping.items(), key=lambda item: item[0].name))
@@ -50,10 +69,10 @@ class LabeledAssignment:
     def value_of(self, term: Term) -> NumericValue:
         if isinstance(term, Constant):
             return term.value
-        for variable, value in self.mapping:
-            if variable == term:
-                return value
-        raise EvaluationError(f"assignment does not bind {term}")
+        try:
+            return self._lookup[term]  # type: ignore[attr-defined]
+        except KeyError:
+            raise EvaluationError(f"assignment does not bind {term}") from None
 
     def values_of(self, terms: Iterable[Term]) -> tuple[NumericValue, ...]:
         return tuple(self.value_of(term) for term in terms)
@@ -62,35 +81,98 @@ class LabeledAssignment:
 def satisfying_assignments(query: Query, database: Database) -> list[LabeledAssignment]:
     """Γ(q, D): all labeled satisfying assignments of the query over the
     database."""
+    return list(_satisfying_assignments_cached(query, database))
+
+
+# A deliberately smaller cache than the symbolic engine's: concrete databases
+# from counterexample searches are mostly one-shot (each trial generates a
+# fresh random database, hit again only when it becomes a witness), so a large
+# cache would mainly retain dead (query, database, assignments) triples.
+@lru_cache(maxsize=4096)
+def _satisfying_assignments_cached(
+    query: Query, database: Database
+) -> tuple[LabeledAssignment, ...]:
     results: list[LabeledAssignment] = []
     for index, disjunct in enumerate(query.disjuncts):
-        for mapping in _assignments_for_condition(disjunct, database):
+        plan = plan_condition(disjunct, lambda predicate: len(database.relation(predicate)))
+        for mapping in execute_plan(plan, database):
             results.append(LabeledAssignment.from_dict(mapping, index))
-    return results
+    return tuple(results)
 
 
-def _assignments_for_condition(
-    condition: Condition, database: Database
-) -> Iterator[dict[Variable, NumericValue]]:
-    """Enumerate the assignments of the condition's variables satisfying it."""
-    positive = sorted(condition.positive_atoms, key=lambda atom: -atom.arity)
-    partial_assignments: list[dict[Variable, NumericValue]] = [{}]
-    for atom in positive:
+def clear_evaluation_caches() -> None:
+    """Drop the memoized Γ(q, D) results (used for cold-cache benchmarks)."""
+    _satisfying_assignments_cached.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Plan execution (concrete engine)
+# ----------------------------------------------------------------------
+def execute_plan(plan: Plan, database: Database) -> Iterator[dict[Variable, NumericValue]]:
+    """Enumerate the assignments satisfying the plan's condition over ``database``."""
+    if not plan.resolvable:
+        return
+    partials: list[dict[Variable, NumericValue]] = [{}]
+    for step in plan.steps:
+        if isinstance(step, AtomStep):
+            partials = _join_atom(step, database, partials)
+        elif isinstance(step, BindStep):
+            source = step.source
+            if isinstance(source, Constant):
+                value = source.value
+                for partial in partials:
+                    partial[step.variable] = value
+            else:
+                for partial in partials:
+                    partial[step.variable] = partial[source]
+        elif isinstance(step, CompareStep):
+            comparison = step.comparison
+            op = comparison.op
+            partials = [
+                partial
+                for partial in partials
+                if op.holds(
+                    _require_value(comparison.left, partial),
+                    _require_value(comparison.right, partial),
+                )
+            ]
+        else:  # NegationStep
+            atom = step.atom
+            partials = [
+                partial
+                for partial in partials
+                if not database.contains(
+                    atom.predicate,
+                    tuple(_require_value(argument, partial) for argument in atom.arguments),
+                )
+            ]
+        if not partials:
+            return
+    yield from partials
+
+
+def _join_atom(
+    step: AtomStep, database: Database, partials: list[dict[Variable, NumericValue]]
+) -> list[dict[Variable, NumericValue]]:
+    atom = step.atom
+    extended: list[dict[Variable, NumericValue]] = []
+    if step.bound_columns:
+        index = database.index(atom.predicate, step.bound_columns)
+        arguments = [atom.arguments[column] for column in step.bound_columns]
+        for partial in partials:
+            key = tuple(_require_value(argument, partial) for argument in arguments)
+            for row in index.get(key, ()):
+                match = _match_atom(atom, row, partial)
+                if match is not None:
+                    extended.append(match)
+    else:
         relation = database.relation(atom.predicate)
-        extended: list[dict[Variable, NumericValue]] = []
-        for partial in partial_assignments:
+        for partial in partials:
             for row in relation:
                 match = _match_atom(atom, row, partial)
                 if match is not None:
                     extended.append(match)
-        partial_assignments = extended
-        if not partial_assignments:
-            return
-    # Resolve variables bound only through equality comparisons.
-    for partial in partial_assignments:
-        for resolved in _resolve_equalities(condition, partial):
-            if _check_residual_literals(condition, resolved, database):
-                yield resolved
+    return extended
 
 
 def _match_atom(
@@ -110,6 +192,62 @@ def _match_atom(
             elif bound != value:
                 return None
     return extended
+
+
+def _maybe_value(term: Term, assignment: Mapping[Variable, NumericValue]) -> Optional[NumericValue]:
+    if isinstance(term, Constant):
+        return term.value
+    return assignment.get(term)
+
+
+def _require_value(term: Term, assignment: Mapping[Variable, NumericValue]) -> NumericValue:
+    value = _maybe_value(term, assignment)
+    if value is None:
+        raise EvaluationError(f"unbound term {term} during evaluation")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Naive reference engine
+# ----------------------------------------------------------------------
+def naive_satisfying_assignments(query: Query, database: Database) -> list[LabeledAssignment]:
+    """Γ(q, D) computed by the original nested-loop engine.
+
+    Kept as an executable specification of the semantics: it joins positive
+    atoms by full relation scans (largest arity first), resolves
+    equality-defined variables afterwards, and only then filters by the
+    comparisons and negated atoms.  The differential property tests and
+    ``benchmarks/bench_evaluator_scaling.py`` compare the planned engine
+    against this reference.
+    """
+    results: list[LabeledAssignment] = []
+    for index, disjunct in enumerate(query.disjuncts):
+        for mapping in _naive_assignments_for_condition(disjunct, database):
+            results.append(LabeledAssignment.from_dict(mapping, index))
+    return results
+
+
+def _naive_assignments_for_condition(
+    condition: Condition, database: Database
+) -> Iterator[dict[Variable, NumericValue]]:
+    positive = sorted(condition.positive_atoms, key=lambda atom: -atom.arity)
+    partial_assignments: list[dict[Variable, NumericValue]] = [{}]
+    for atom in positive:
+        relation = database.relation(atom.predicate)
+        extended: list[dict[Variable, NumericValue]] = []
+        for partial in partial_assignments:
+            for row in relation:
+                match = _match_atom(atom, row, partial)
+                if match is not None:
+                    extended.append(match)
+        partial_assignments = extended
+        if not partial_assignments:
+            return
+    # Resolve variables bound only through equality comparisons.
+    for partial in partial_assignments:
+        for resolved in _resolve_equalities(condition, partial):
+            if _check_residual_literals(condition, resolved, database):
+                yield resolved
 
 
 def _resolve_equalities(
@@ -144,12 +282,6 @@ def _resolve_equalities(
     yield resolved
 
 
-def _maybe_value(term: Term, assignment: Mapping[Variable, NumericValue]) -> Optional[NumericValue]:
-    if isinstance(term, Constant):
-        return term.value
-    return assignment.get(term)
-
-
 def _check_residual_literals(
     condition: Condition, assignment: Mapping[Variable, NumericValue], database: Database
 ) -> bool:
@@ -160,29 +292,9 @@ def _check_residual_literals(
     for comparison in condition.comparisons:
         left = _require_value(comparison.left, assignment)
         right = _require_value(comparison.right, assignment)
-        if not comparison.op.holds(_as_fraction(left), _as_fraction(right)):
-            return False
-    # Positive atoms with repeated constants or variables were checked during
-    # matching, but a positive atom whose variables are all bound elsewhere
-    # must still be verified when the relation is empty.
-    for atom in condition.positive_atoms:
-        values = tuple(_require_value(argument, assignment) for argument in atom.arguments)
-        if not database.contains(atom.predicate, values):
+        if not comparison.op.holds(left, right):
             return False
     return True
-
-
-def _require_value(term: Term, assignment: Mapping[Variable, NumericValue]) -> NumericValue:
-    value = _maybe_value(term, assignment)
-    if value is None:
-        raise EvaluationError(f"unbound term {term} during evaluation")
-    return value
-
-
-def _as_fraction(value: NumericValue):
-    from fractions import Fraction
-
-    return Fraction(value)
 
 
 # ----------------------------------------------------------------------

@@ -12,21 +12,31 @@ Terms that ``L`` makes equal are identified by mapping every term to the
 representative of its block, so a subset ``S`` paired with an ordering that
 equates terms behaves exactly like its instantiation with a non-injective
 assignment.
+
+The engine executes the same plans as the concrete engine (see
+:mod:`repro.engine.planner`): positive atoms are matched by probing hash
+indexes of the canonical relations on the already-bound columns, and
+comparisons — decided by the ordering ``L`` rather than by numeric values —
+and negated atoms filter as soon as their variables are bound.  Symbolic
+``Γ(q, S_L)`` is memoized per ``(query, database)`` pair, so the thousands of
+evaluations performed by one bounded-equivalence run (and across runs sharing
+subsets, e.g. an equivalence matrix over a catalog) are each paid for once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Iterator, Mapping, Optional
 
 from ..datalog.atoms import RelationalAtom
 from ..datalog.conditions import Condition
-from ..datalog.database import Database
+from ..datalog.database import Database, build_column_index
 from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
 from ..orderings.complete_orderings import CompleteOrdering
+from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
 
 
 @dataclass(frozen=True)
@@ -66,11 +76,31 @@ class SymbolicDatabase:
                 carrier.update(row)
         return frozenset(carrier)
 
+    @cached_property
+    def _indexes(self) -> dict[tuple[str, tuple[int, ...]], dict[tuple, tuple[tuple, ...]]]:
+        return {}
+
     def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
         return self.canonical_relations.get(predicate, frozenset())
 
     def contains(self, predicate: str, row: tuple[Term, ...]) -> bool:
         return row in self.canonical_relations.get(predicate, frozenset())
+
+    def index(
+        self, predicate: str, columns: tuple[int, ...]
+    ) -> Mapping[tuple, tuple[tuple, ...]]:
+        """A hash index of the canonical relation on the given columns, built
+        lazily and cached (the database is immutable, so it never goes stale).
+        Keys and rows hold block representatives, mirroring
+        :meth:`repro.datalog.database.Database.index`."""
+        key = (predicate, columns)
+        cached = self._indexes.get(key)
+        if cached is None:
+            cached = build_column_index(
+                self.canonical_relations.get(predicate, frozenset()), columns
+            )
+            self._indexes[key] = cached
+        return cached
 
     def instantiate(self) -> Database:
         """A concrete database δ(S) for the canonical satisfying assignment δ
@@ -97,6 +127,11 @@ class SymbolicAssignment:
     mapping: tuple[tuple[Variable, Term], ...]
     disjunct_index: int
 
+    def __post_init__(self) -> None:
+        # Dict-backed lookup for term_of; equality and hashing still use the
+        # canonical sorted tuple.
+        object.__setattr__(self, "_lookup", dict(self.mapping))
+
     @classmethod
     def from_dict(cls, mapping: Mapping[Variable, Term], disjunct_index: int):
         ordered = tuple(sorted(mapping.items(), key=lambda item: item[0].name))
@@ -108,10 +143,10 @@ class SymbolicAssignment:
     def term_of(self, term: Term, database: SymbolicDatabase) -> Term:
         if isinstance(term, Constant):
             return database.canonical(term)
-        for variable, value in self.mapping:
-            if variable == term:
-                return value
-        raise EvaluationError(f"symbolic assignment does not bind {term}")
+        try:
+            return self._lookup[term]  # type: ignore[attr-defined]
+        except KeyError:
+            raise EvaluationError(f"symbolic assignment does not bind {term}") from None
 
     def terms_of(self, terms, database: SymbolicDatabase) -> tuple[Term, ...]:
         return tuple(self.term_of(term, database) for term in terms)
@@ -121,35 +156,107 @@ def symbolic_satisfying_assignments(
     query: Query, database: SymbolicDatabase
 ) -> list[SymbolicAssignment]:
     """The symbolic counterpart of Γ(q, S_L)."""
+    return list(_symbolic_assignments_cached(query, database))
+
+
+@lru_cache(maxsize=16384)
+def _symbolic_assignments_cached(
+    query: Query, database: SymbolicDatabase
+) -> tuple[SymbolicAssignment, ...]:
     results: list[SymbolicAssignment] = []
     for index, disjunct in enumerate(query.disjuncts):
-        for mapping in _symbolic_assignments_for_condition(disjunct, database):
+        plan = plan_condition(disjunct, lambda predicate: len(database.relation(predicate)))
+        for mapping in execute_symbolic_plan(plan, database):
             results.append(SymbolicAssignment.from_dict(mapping, index))
-    return results
+    return tuple(results)
 
 
-def _symbolic_assignments_for_condition(
-    condition: Condition, database: SymbolicDatabase
+def clear_symbolic_caches() -> None:
+    """Drop the memoized symbolic Γ(q, S_L) results."""
+    _symbolic_assignments_cached.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Plan execution (symbolic engine)
+# ----------------------------------------------------------------------
+def execute_symbolic_plan(
+    plan: Plan, database: SymbolicDatabase
 ) -> Iterator[dict[Variable, Term]]:
-    positive = sorted(condition.positive_atoms, key=lambda atom: -atom.arity)
-    partial_assignments: list[dict[Variable, Term]] = [{}]
-    for atom in positive:
+    """Enumerate the symbolic assignments satisfying the plan's condition.
+
+    Identical in structure to the concrete executor, except that terms are
+    block representatives (constants canonicalize through the ordering) and
+    comparisons are decided by the ordering ``L`` instead of numerically.
+    """
+    if not plan.resolvable:
+        return
+    ordering = database.ordering
+    partials: list[dict[Variable, Term]] = [{}]
+    for step in plan.steps:
+        if isinstance(step, AtomStep):
+            partials = _join_symbolic_atom(step, database, partials)
+        elif isinstance(step, BindStep):
+            source = step.source
+            if isinstance(source, Constant):
+                value = database.canonical(source)
+                for partial in partials:
+                    partial[step.variable] = value
+            else:
+                for partial in partials:
+                    partial[step.variable] = partial[source]
+        elif isinstance(step, CompareStep):
+            comparison = step.comparison
+            partials = [
+                partial
+                for partial in partials
+                if ordering.satisfies(
+                    type(comparison)(
+                        _require_symbolic(comparison.left, partial, database),
+                        comparison.op,
+                        _require_symbolic(comparison.right, partial, database),
+                    )
+                )
+            ]
+        else:  # NegationStep
+            atom = step.atom
+            partials = [
+                partial
+                for partial in partials
+                if not database.contains(
+                    atom.predicate,
+                    tuple(
+                        _require_symbolic(argument, partial, database)
+                        for argument in atom.arguments
+                    ),
+                )
+            ]
+        if not partials:
+            return
+    yield from partials
+
+
+def _join_symbolic_atom(
+    step: AtomStep, database: SymbolicDatabase, partials: list[dict[Variable, Term]]
+) -> list[dict[Variable, Term]]:
+    atom = step.atom
+    extended: list[dict[Variable, Term]] = []
+    if step.bound_columns:
+        index = database.index(atom.predicate, step.bound_columns)
+        arguments = [atom.arguments[column] for column in step.bound_columns]
+        for partial in partials:
+            key = tuple(_require_symbolic(argument, partial, database) for argument in arguments)
+            for row in index.get(key, ()):
+                match = _match_symbolic_atom(atom, row, partial, database)
+                if match is not None:
+                    extended.append(match)
+    else:
         relation = database.relation(atom.predicate)
-        extended: list[dict[Variable, Term]] = []
-        for partial in partial_assignments:
+        for partial in partials:
             for row in relation:
                 match = _match_symbolic_atom(atom, row, partial, database)
                 if match is not None:
                     extended.append(match)
-        partial_assignments = extended
-        if not partial_assignments:
-            return
-    for partial in partial_assignments:
-        resolved = _resolve_symbolic_equalities(condition, partial, database)
-        if resolved is None:
-            continue
-        if _check_symbolic_residual(condition, resolved, database):
-            yield resolved
+    return extended
 
 
 def _match_symbolic_atom(
@@ -174,58 +281,12 @@ def _match_symbolic_atom(
     return extended
 
 
-def _resolve_symbolic_equalities(
-    condition: Condition, partial: dict[Variable, Term], database: SymbolicDatabase
-) -> Optional[dict[Variable, Term]]:
-    resolved = dict(partial)
-    pending = [c for c in condition.comparisons if c.is_equality]
-    progress = True
-    while progress and pending:
-        progress = False
-        remaining = []
-        for comparison in pending:
-            left = _maybe_symbolic(comparison.left, resolved, database)
-            right = _maybe_symbolic(comparison.right, resolved, database)
-            if left is not None and right is None and isinstance(comparison.right, Variable):
-                resolved[comparison.right] = left
-                progress = True
-            elif right is not None and left is None and isinstance(comparison.left, Variable):
-                resolved[comparison.left] = right
-                progress = True
-            else:
-                remaining.append(comparison)
-        pending = remaining
-    if condition.variables() - set(resolved):
-        return None
-    return resolved
-
-
 def _maybe_symbolic(
     term: Term, assignment: Mapping[Variable, Term], database: SymbolicDatabase
 ) -> Optional[Term]:
     if isinstance(term, Constant):
         return database.canonical(term)
     return assignment.get(term)
-
-
-def _check_symbolic_residual(
-    condition: Condition, assignment: Mapping[Variable, Term], database: SymbolicDatabase
-) -> bool:
-    ordering = database.ordering
-    for atom in condition.negated_atoms:
-        row = tuple(_require_symbolic(argument, assignment, database) for argument in atom.arguments)
-        if database.contains(atom.predicate, row):
-            return False
-    for comparison in condition.comparisons:
-        left = _require_symbolic(comparison.left, assignment, database)
-        right = _require_symbolic(comparison.right, assignment, database)
-        if not ordering.satisfies(type(comparison)(left, comparison.op, right)):
-            return False
-    for atom in condition.positive_atoms:
-        row = tuple(_require_symbolic(argument, assignment, database) for argument in atom.arguments)
-        if not database.contains(atom.predicate, row):
-            return False
-    return True
 
 
 def _require_symbolic(

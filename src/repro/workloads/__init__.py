@@ -1,6 +1,7 @@
-"""Workload generators and the data-warehouse scenario used by examples,
-property-based tests, and the benchmark harness."""
+"""Workload generators, the data-warehouse scenario, and batched evaluation
+APIs used by examples, property-based tests, and the benchmark harness."""
 
+from .batch import equivalence_matrix, evaluate_many, format_equivalence_matrix
 from .generators import QueryGenerator, QueryProfile, linear_chain_query, renamed_copy
 from .scenarios import WAREHOUSE_SCHEMA, WarehouseScenario, build_warehouse
 
@@ -10,6 +11,9 @@ __all__ = [
     "WAREHOUSE_SCHEMA",
     "WarehouseScenario",
     "build_warehouse",
+    "equivalence_matrix",
+    "evaluate_many",
+    "format_equivalence_matrix",
     "linear_chain_query",
     "renamed_copy",
 ]

@@ -1,0 +1,91 @@
+"""Batched evaluation and pairwise equivalence over query catalogs.
+
+Workload scenarios (see :mod:`repro.workloads.scenarios`) carry *catalogs* —
+named families of queries posed against one database.  This module provides
+the batched entry points the examples and benchmarks drive:
+
+* :func:`evaluate_many` — evaluate every query of a catalog over a database
+  (the memoized, planned engine makes repeated and overlapping evaluations
+  cheap), and
+* :func:`equivalence_matrix` — run the paper's strongest applicable decision
+  procedure on every unordered pair of catalog queries, the bulk analogue of
+  :func:`repro.core.equivalence.are_equivalent`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.equivalence import EquivalenceResult, Verdict, are_equivalent
+from ..datalog.database import Database
+from ..datalog.queries import Query
+from ..domains import Domain
+from ..engine.evaluator import evaluate
+
+
+def evaluate_many(
+    queries: Mapping[str, Query], database: Database
+) -> dict[str, object]:
+    """Evaluate every query of the catalog over the database.
+
+    Returns ``{name: result}`` where each result follows
+    :func:`repro.engine.evaluate` (a dict for aggregate queries, a set of
+    tuples otherwise).
+    """
+    return {name: evaluate(query, database) for name, query in queries.items()}
+
+
+def equivalence_matrix(
+    queries: Mapping[str, Query],
+    domain: Domain = Domain.RATIONALS,
+    counterexample_trials: int = 400,
+    max_subsets: int = 2_000_000,
+    unknown_bound: Optional[int] = None,
+) -> dict[tuple[str, str], EquivalenceResult]:
+    """Pairwise equivalence over a query catalog.
+
+    Returns ``{(name_a, name_b): result}`` for every unordered pair with
+    ``name_a < name_b``.  Pairs mixing an aggregate with a non-aggregate query
+    are recorded as ``NOT_EQUIVALENT`` with method ``"incomparable shapes"``
+    (their results live in different spaces, so no database can make them
+    agree) rather than raising, so one odd catalog entry does not abort the
+    whole sweep.
+    """
+    names = sorted(queries)
+    results: dict[tuple[str, str], EquivalenceResult] = {}
+    for position, name_a in enumerate(names):
+        for name_b in names[position + 1 :]:
+            first, second = queries[name_a], queries[name_b]
+            if first.is_aggregate != second.is_aggregate:
+                results[(name_a, name_b)] = EquivalenceResult(
+                    Verdict.NOT_EQUIVALENT,
+                    method="incomparable shapes",
+                    domain=domain,
+                    details="one query is aggregate and the other is not",
+                )
+                continue
+            results[(name_a, name_b)] = are_equivalent(
+                first,
+                second,
+                domain=domain,
+                counterexample_trials=counterexample_trials,
+                max_subsets=max_subsets,
+                unknown_bound=unknown_bound,
+            )
+    return results
+
+
+def format_equivalence_matrix(
+    results: Mapping[tuple[str, str], EquivalenceResult]
+) -> str:
+    """Render an equivalence matrix as an aligned text table."""
+    if not results:
+        return "(empty catalog)"
+    width = max(len(name) for pair in results for name in pair)
+    lines = []
+    for (name_a, name_b), result in sorted(results.items()):
+        lines.append(
+            f"{name_a:{width}s} vs {name_b:{width}s}: "
+            f"{result.verdict.value:14s} [{result.method}]"
+        )
+    return "\n".join(lines)

@@ -30,6 +30,12 @@ class WarehouseScenario:
     def fact_count(self) -> int:
         return len(self.database)
 
+    def evaluate_all(self) -> dict[str, object]:
+        """Evaluate the whole catalog over the warehouse database."""
+        from .batch import evaluate_many
+
+        return evaluate_many(self.queries, self.database)
+
 
 #: Relation schema of the scenario (predicate -> arity).
 WAREHOUSE_SCHEMA: dict[str, int] = {
@@ -89,6 +95,17 @@ def build_warehouse(
         # Count of distinct products sold per store.
         "distinct_products": parse_query(
             "assortment(s, cntd(p)) :- sales(s, p, a)"
+        ),
+        # Join-heavy: revenue lost to returned sales, per premium store.  Joins
+        # the fact table against two dimension tables on bound columns, so it
+        # exercises the index-probe path of the engine.
+        "premium_returned_revenue": parse_query(
+            "lost(s, sum(a)) :- sales(s, p, a), returns(s, p), premium_store(s)"
+        ),
+        # Join-heavy with negation: products a premium store sold but never
+        # had returned.
+        "premium_kept_products": parse_query(
+            "kept(s, cntd(p)) :- sales(s, p, a), premium_store(s), not returns(s, p)"
         ),
     }
     return WarehouseScenario(database=database, queries=queries)

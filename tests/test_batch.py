@@ -1,0 +1,69 @@
+"""Tests for the batched workload APIs (evaluate_many / equivalence_matrix)."""
+
+import pytest
+
+from repro import Verdict, parse_database, parse_query
+from repro.engine import evaluate
+from repro.workloads import (
+    build_warehouse,
+    equivalence_matrix,
+    evaluate_many,
+    format_equivalence_matrix,
+)
+
+
+class TestEvaluateMany:
+    def test_matches_individual_evaluation(self, warehouse):
+        results = evaluate_many(warehouse.queries, warehouse.database)
+        assert set(results) == set(warehouse.queries)
+        for name, query in warehouse.queries.items():
+            assert results[name] == evaluate(query, warehouse.database)
+
+    def test_scenario_convenience_method(self, warehouse):
+        assert warehouse.evaluate_all() == evaluate_many(warehouse.queries, warehouse.database)
+
+    def test_empty_catalog(self):
+        assert evaluate_many({}, parse_database("p(1).")) == {}
+
+
+class TestEquivalenceMatrix:
+    def test_detects_equivalent_rewriting(self):
+        queries = {
+            "orig": parse_query("q(x, sum(y)) :- p(x, y), not r(x)"),
+            "renamed": parse_query("q(x, sum(z)) :- p(x, z), not r(x)"),
+            "weaker": parse_query("q(x, sum(y)) :- p(x, y)"),
+        }
+        results = equivalence_matrix(queries, counterexample_trials=100)
+        assert set(results) == {("orig", "renamed"), ("orig", "weaker"), ("renamed", "weaker")}
+        assert results[("orig", "renamed")].verdict is Verdict.EQUIVALENT
+        assert results[("orig", "weaker")].verdict is Verdict.NOT_EQUIVALENT
+        assert results[("renamed", "weaker")].verdict is Verdict.NOT_EQUIVALENT
+
+    def test_mixed_shapes_are_incomparable_not_an_error(self):
+        queries = {
+            "agg": parse_query("q(x, sum(y)) :- p(x, y)"),
+            "plain": parse_query("q(x) :- p(x, y)"),
+        }
+        results = equivalence_matrix(queries)
+        result = results[("agg", "plain")]
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+        assert result.method == "incomparable shapes"
+
+    def test_formatting(self):
+        queries = {
+            "a": parse_query("q(x) :- p(x, y)"),
+            "b": parse_query("q(x) :- p(x, y), p(x, z)"),
+        }
+        rendered = format_equivalence_matrix(equivalence_matrix(queries))
+        assert "a" in rendered and "b" in rendered and "equivalent" in rendered
+        assert format_equivalence_matrix({}) == "(empty catalog)"
+
+    def test_warehouse_rewriting_pair(self):
+        warehouse = build_warehouse(stores=2, products=3, sales_per_store=4, seed=3)
+        catalog = {
+            name: warehouse.queries[name]
+            for name in ("revenue_per_store", "revenue_per_store_alt")
+        }
+        results = equivalence_matrix(catalog)
+        (result,) = results.values()
+        assert result.verdict is Verdict.EQUIVALENT

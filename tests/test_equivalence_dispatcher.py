@@ -51,7 +51,40 @@ class TestDispatcher:
         second = parse_query("q(x, max(y)) :- p(x, y)")
         result = are_equivalent(first, second)
         assert result.verdict is Verdict.NOT_EQUIVALENT
-        assert result.method == "syntactic"
+        # A claim of non-equivalence must come with a concrete witness, not a
+        # syntactic shortcut: differing function names alone prove nothing.
+        assert "counterexample" in result.method
+        assert result.counterexample is not None
+        assert result.counterexample.database is not None
+
+    def test_different_functions_agreeing_everywhere_report_unknown(self):
+        # sum of values pinned to 1 is a count: the queries agree on every
+        # database, so no witness exists and the paper does not settle the
+        # pair — the only sound verdicts are EQUIVALENT or UNKNOWN.
+        first = parse_query("q(s, sum(a)) :- r(s, a), a = 1")
+        second = parse_query("q(s, count()) :- r(s, a), a = 1")
+        result = are_equivalent(first, second)
+        assert result.verdict is Verdict.UNKNOWN
+        assert result.counterexample is None
+
+    def test_counterexample_trials_threaded_through_quasilinear_branch(self, monkeypatch):
+        import repro.core.equivalence as equivalence_module
+
+        captured = {}
+        original = equivalence_module.find_counterexample
+
+        def spy(first, second, **kwargs):
+            captured["trials"] = kwargs.get("trials")
+            return original(first, second, **kwargs)
+
+        monkeypatch.setattr(equivalence_module, "find_counterexample", spy)
+        # A non-equivalent quasilinear pair: the dispatcher searches for a
+        # witness and must honour the caller's trial budget.
+        first = parse_query("q(x, sum(y)) :- p(x, y), y > 0")
+        second = parse_query("q(x, sum(y)) :- p(x, y), y > 1")
+        result = are_equivalent(first, second, counterexample_trials=7)
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+        assert captured["trials"] == 7
 
     def test_aggregate_vs_non_aggregate_rejected(self):
         with pytest.raises(UnsupportedAggregateError):

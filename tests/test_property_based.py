@@ -11,6 +11,7 @@ These tests tie the decision procedures to ground truth:
 """
 
 import random
+import zlib
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -117,7 +118,10 @@ class TestCheckerSoundnessOnRandomWorkloads:
             max_comparisons=1,
             constants=(0, 2),
         )
-        generator = QueryGenerator(profile, seed=hash(function) % 1000)
+        # zlib.crc32 is stable across processes, unlike hash() which varies
+        # with PYTHONHASHSEED and made this test explore a different random
+        # region (and occasionally flake) on every run.
+        generator = QueryGenerator(profile, seed=zlib.crc32(function.encode()) % 1000)
         rng = random.Random(99)
         checked = 0
         for _ in range(15):
