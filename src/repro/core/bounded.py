@@ -14,10 +14,27 @@ decidable exactly when α is order-decidable, and its proof is a procedure:
    ``L`` iff they produce the same group keys and, for every group, the
    ordered identity ``L → α(B) = α(B')`` is valid.
 
-This module implements that procedure (with an optional symmetry reduction
-over the interchangeable fresh variables), plus the bounded-equivalence
-variants for non-aggregate queries under set and bag-set semantics that the
-other decision procedures build on.
+This module implements that procedure, plus the bounded-equivalence variants
+for non-aggregate queries under set and bag-set semantics that the other
+decision procedures build on.
+
+Two search-space reductions keep the double-exponential procedure tractable:
+
+* **Orbit-canonical subset enumeration.**  The symmetric group on the fresh
+  variables acts on BASE; only one representative per orbit of subsets needs
+  to be checked.  :class:`CanonicalSubsetEnumerator` generates exactly the
+  canonical representatives by orderly generation (grow subsets by appending
+  larger atoms, prune non-canonical prefixes), so nothing pays the per-subset
+  ``|fresh|!`` scan of the legacy :func:`_canonical_subset` reference (kept
+  for ablation and as the oracle the enumerator is pinned against).
+* **Ordering classes.**  When neither query contains a comparison, the
+  symbolic evaluation of ``S_L`` depends only on the *blocks* of ``L`` (which
+  terms are equal), not on the order of the blocks; orderings are grouped by
+  their block partition and each class is evaluated once.
+
+The per-(subset, ordering) checks are independent, so the whole search can be
+sharded across processes; ``bounded_equivalence(..., workers=N)`` routes
+through :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
@@ -41,6 +58,14 @@ from ..orderings.complete_orderings import CompleteOrdering, enumerate_complete_
 #: Semantics under which non-aggregate queries are compared.
 SET_SEMANTICS = "set"
 BAG_SET_SEMANTICS = "bag-set"
+
+#: Enumeration strategies for the subset search.
+CANONICAL_ENUMERATION = "canonical"  # orbit representatives only (orderly generation)
+FULL_ENUMERATION = "full"  # every subset of BASE, no symmetry reduction
+SCAN_ENUMERATION = "scan"  # legacy: every subset, canonicalized by a |fresh|! scan
+
+#: Below this many subsets a parallel run is not worth the process overhead.
+DEFAULT_PARALLEL_THRESHOLD = 64
 
 
 @dataclass
@@ -79,17 +104,64 @@ class EquivalenceReport:
     orderings_examined: int = 0
     identities_checked: int = 0
     subsets_skipped_by_symmetry: int = 0
+    workers_used: int = 1
     notes: list[str] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return self.equivalent
 
 
+@dataclass(frozen=True)
+class SharedBaseContext:
+    """A catalog-wide BASE recipe shared by every pair of a query catalog.
+
+    Checking a pair over the *catalog's* constants with the *catalog's* fresh
+    bound is sound: it enlarges the set of small databases examined, so an
+    EQUIVALENT verdict still implies τ(pair)-equivalence (the bound dominates
+    every pair's τ) and a counterexample is always a concrete witness.  The
+    payoff is that every pair sharing a query also shares the (subset,
+    ordering) stream, so the symbolic engine's memoized Γ(q, S_L) is reused
+    across the whole catalog instead of being recomputed per pair.
+    """
+
+    constants: tuple[Constant, ...]
+    bound: int
+
+    @classmethod
+    def from_catalog(cls, queries: Iterable[Query]) -> Optional["SharedBaseContext"]:
+        """The shared context of a catalog, or ``None`` when no two queries of
+        the catalog are comparable (fewer than two of the same shape)."""
+        catalog = list(queries)
+        constants: set[Constant] = set()
+        for query in catalog:
+            constants |= query.constants()
+        bound = 0
+        comparable = False
+        for position, first in enumerate(catalog):
+            for second in catalog[position + 1 :]:
+                if first.is_aggregate == second.is_aggregate:
+                    comparable = True
+                    bound = max(bound, term_size_of_pair(first, second))
+        if not comparable:
+            return None
+        return cls(tuple(sorted(constants, key=str)), bound)
+
+
 def build_base(
-    first: Query, second: Query, fresh_variable_count: int
+    first: Query,
+    second: Query,
+    fresh_variable_count: int,
+    extra_constants: Iterable[Constant] = (),
 ) -> tuple[list[Term], list[RelationalAtom], list[Variable]]:
-    """The term set ``T`` and atom universe ``BASE`` of Theorem 4.8."""
-    constants = sorted(first.constants() | second.constants(), key=lambda c: (str(c)))
+    """The term set ``T`` and atom universe ``BASE`` of Theorem 4.8.
+
+    ``extra_constants`` widens ``T`` beyond the pair's own constants (used by
+    :class:`SharedBaseContext` to align the BASE across a whole catalog).
+    """
+    constants = sorted(
+        first.constants() | second.constants() | set(extra_constants),
+        key=lambda c: (str(c)),
+    )
     taken_names = {variable.name for variable in first.variables() | second.variables()}
     fresh: list[Variable] = []
     index = 0
@@ -109,11 +181,108 @@ def build_base(
     return terms, base, fresh
 
 
+# ----------------------------------------------------------------------
+# Subset enumeration: orbit-canonical (orderly generation) and legacy scan
+# ----------------------------------------------------------------------
+def canonical_base_order(base: Sequence[RelationalAtom]) -> list[RelationalAtom]:
+    """BASE sorted by the string form of its atoms — the fixed total order the
+    canonical enumeration (and the legacy scan signature) is defined against."""
+    return sorted(base, key=str)
+
+
+def fresh_permutation_maps(
+    base: Sequence[RelationalAtom], fresh: Sequence[Variable]
+) -> list[tuple[int, ...]]:
+    """The action of every non-identity permutation of the fresh variables on
+    BASE, as index maps (``map[i]`` is the index of the image of atom ``i``).
+
+    BASE is closed under renaming fresh variables to fresh variables, so every
+    image index exists.
+    """
+    position = {atom: index for index, atom in enumerate(base)}
+    identity = tuple(fresh)
+    maps: list[tuple[int, ...]] = []
+    for permutation in itertools.permutations(fresh):
+        if permutation == identity:
+            continue
+        mapping = dict(zip(fresh, permutation))
+        maps.append(tuple(position[atom.substitute(mapping)] for atom in base))
+    return maps
+
+
+class CanonicalSubsetEnumerator:
+    """Generate exactly one representative per orbit of subsets of BASE under
+    permutations of the fresh variables.
+
+    A subset is *canonical* when its sorted index tuple (indices into the
+    str-sorted BASE) is lexicographically minimal in its orbit — the same
+    representative the legacy :func:`_canonical_subset` scan selects.  The
+    enumerator uses orderly generation: subsets grow by appending an atom
+    larger than their maximum, and a prefix that is not canonical is pruned
+    together with its entire subtree.  This is sound because canonicity is
+    hereditary: removing the largest element of a canonical subset leaves a
+    canonical subset (equivalently, every extension of a non-canonical prefix
+    by larger atoms is non-canonical).
+
+    Subsets are yielded in (size, lexicographic) order so counterexamples on
+    small databases surface first, matching the legacy enumeration.  After a
+    complete iteration, ``skipped`` holds the exact number of non-canonical
+    subsets that were never generated.
+    """
+
+    def __init__(self, base: Sequence[RelationalAtom], fresh: Sequence[Variable]):
+        self.base = canonical_base_order(base)
+        self.maps = fresh_permutation_maps(self.base, fresh)
+        self.skipped = 0
+
+    def _is_canonical(self, indices: tuple[int, ...]) -> bool:
+        for permutation in self.maps:
+            mapped = sorted(permutation[i] for i in indices)
+            for image, original in zip(mapped, indices):
+                if image < original:
+                    return False
+                if image > original:
+                    break
+        return True
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        self.skipped = 0
+        size = len(self.base)
+        level: list[tuple[int, ...]] = [()]
+        yield ()
+        while level:
+            next_level: list[tuple[int, ...]] = []
+            for prefix in level:
+                start = prefix[-1] + 1 if prefix else 0
+                for atom_index in range(start, size):
+                    candidate = prefix + (atom_index,)
+                    if self._is_canonical(candidate):
+                        next_level.append(candidate)
+                        yield candidate
+                    else:
+                        # The candidate and every extension of it by larger
+                        # atoms are non-canonical (heredity): count the whole
+                        # pruned subtree.
+                        self.skipped += 1 << (size - 1 - atom_index)
+            level = next_level
+
+    def subsets(self) -> Iterator[frozenset[RelationalAtom]]:
+        base = self.base
+        for indices in self:
+            yield frozenset(base[i] for i in indices)
+
+
 def _canonical_subset(
     subset: frozenset[RelationalAtom], fresh: Sequence[Variable]
 ) -> frozenset[RelationalAtom]:
     """The canonical representative of a subset of BASE under permutations of
-    the interchangeable fresh variables (symmetry reduction)."""
+    the interchangeable fresh variables.
+
+    Legacy reference implementation: a full ``|fresh|!`` scan per subset.  The
+    production path is :class:`CanonicalSubsetEnumerator`, which generates
+    only canonical representatives; this function remains as the oracle the
+    enumerator is pinned against and for the ``scan`` ablation mode.
+    """
     best: Optional[tuple] = None
     best_subset = subset
     for permutation in itertools.permutations(fresh):
@@ -131,7 +300,11 @@ def _iterate_subsets(
     fresh: Sequence[Variable],
     symmetry_reduction: bool,
 ) -> Iterator[tuple[frozenset[RelationalAtom], bool]]:
-    """Yield (subset, skipped) pairs; skipped subsets are symmetry duplicates."""
+    """Yield (subset, skipped) pairs; skipped subsets are symmetry duplicates.
+
+    Legacy enumeration (every subset tested, canonical ones kept), retained
+    for the ``scan`` ablation mode and the pinning tests.
+    """
     for size in range(len(base) + 1):
         for combination in itertools.combinations(base, size):
             subset = frozenset(combination)
@@ -145,6 +318,168 @@ def _iterate_subsets(
             yield subset, False
 
 
+# ----------------------------------------------------------------------
+# Run preparation shared by the serial path and the parallel workers
+# ----------------------------------------------------------------------
+#: An ordering class: a representative ordering plus every (position,
+#: ordering) member sharing its block partition.
+OrderingClass = tuple[CompleteOrdering, tuple[tuple[int, CompleteOrdering], ...]]
+
+
+@dataclass
+class BoundedRunSetup:
+    """Everything a (subset, ordering) check needs, derivable deterministically
+    from (first, second, bound, domain, semantics, extra_constants) — workers
+    rebuild it locally instead of shipping it through pickles."""
+
+    first: Query
+    second: Query
+    function: Optional[AggregationFunction]
+    semantics: str
+    terms: list[Term]
+    base: list[RelationalAtom]  # canonical (str-sorted) order
+    fresh: list[Variable]
+    orderings: list[CompleteOrdering]
+    ordering_classes: tuple[OrderingClass, ...]
+    comparison_free: bool
+
+
+def _pair_is_comparison_free(first: Query, second: Query) -> bool:
+    return not any(
+        disjunct.comparisons for query in (first, second) for disjunct in query.disjuncts
+    )
+
+
+def _group_orderings(
+    orderings: Sequence[CompleteOrdering], comparison_free: bool
+) -> tuple[OrderingClass, ...]:
+    """Group orderings by their block partition.
+
+    For comparison-free query pairs, symbolic evaluation over ``S_L`` depends
+    only on which terms ``L`` equates (constants canonicalize to themselves
+    and block representatives ignore block order), so Γ and the groups are
+    computed once per class; the per-ordering work shrinks to the ordered
+    identities.  With comparisons present every class is a singleton.
+    """
+    if not comparison_free:
+        return tuple(
+            (ordering, ((position, ordering),))
+            for position, ordering in enumerate(orderings)
+        )
+    classes: dict[frozenset, list[tuple[int, CompleteOrdering]]] = {}
+    order: list[frozenset] = []
+    for position, ordering in enumerate(orderings):
+        key = frozenset(ordering.blocks)
+        if key not in classes:
+            classes[key] = []
+            order.append(key)
+        classes[key].append((position, ordering))
+    return tuple((classes[key][0][1], tuple(classes[key])) for key in order)
+
+
+def prepare_bounded_run(
+    first: Query,
+    second: Query,
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: Iterable[Constant] = (),
+) -> BoundedRunSetup:
+    """Validate the pair and build the shared run state (terms, BASE in
+    canonical order, satisfiable orderings grouped into classes)."""
+    function = _resolve_function(first, second, domain)
+    terms, base, fresh = build_base(first, second, bound, extra_constants)
+    orderings = [
+        ordering
+        for ordering in enumerate_complete_orderings(terms, domain)
+        if ordering.is_satisfiable()
+    ]
+    comparison_free = _pair_is_comparison_free(first, second)
+    return BoundedRunSetup(
+        first=first,
+        second=second,
+        function=function,
+        semantics=semantics,
+        terms=terms,
+        base=canonical_base_order(base),
+        fresh=fresh,
+        orderings=orderings,
+        ordering_classes=_group_orderings(orderings, comparison_free),
+        comparison_free=comparison_free,
+    )
+
+
+@dataclass
+class CheckStats:
+    """Statistics accumulated by the subset checks (picklable, mergeable)."""
+
+    subsets_examined: int = 0
+    orderings_examined: int = 0
+    identities_checked: int = 0
+
+    def merge_into(self, report: EquivalenceReport) -> None:
+        report.subsets_examined += self.subsets_examined
+        report.orderings_examined += self.orderings_examined
+        report.identities_checked += self.identities_checked
+
+
+def check_subset(
+    setup: BoundedRunSetup,
+    subset: frozenset[RelationalAtom],
+    stats,
+    seed: int = 0,
+) -> Optional[tuple[int, Counterexample]]:
+    """Check one subset of BASE against every ordering class.
+
+    Returns ``(ordering_position, counterexample)`` for the first failing
+    ordering (in enumeration order within each class), or ``None`` when the
+    queries agree on the subset.  ``stats`` needs ``orderings_examined`` and
+    ``identities_checked`` counters (an :class:`EquivalenceReport` or a
+    :class:`CheckStats`).
+    """
+    first, second, function, semantics = (
+        setup.first,
+        setup.second,
+        setup.function,
+        setup.semantics,
+    )
+    for representative, members in setup.ordering_classes:
+        database = SymbolicDatabase(subset, representative)
+        if function is None:
+            stats.orderings_examined += len(members)
+            counterexample = _compare_non_aggregate(first, second, database, semantics)
+            if counterexample is not None:
+                return members[0][0], counterexample
+            continue
+        left_groups = symbolic_groups(first, database)
+        right_groups = symbolic_groups(second, database)
+        if set(left_groups) != set(right_groups):
+            stats.orderings_examined += len(members)
+            concrete = database.instantiate()
+            return members[0][0], Counterexample(
+                database=concrete,
+                left_result=evaluate_aggregate(first, concrete, function),
+                right_result=evaluate_aggregate(second, concrete, function),
+                ordering=database.ordering,
+                symbolic_atoms=database.atoms,
+            )
+        for position, ordering in members:
+            stats.orderings_examined += 1
+            for key in left_groups:
+                stats.identities_checked += 1
+                if not function.decide_ordered_identity(
+                    ordering, left_groups[key], right_groups[key]
+                ):
+                    witness_database = SymbolicDatabase(subset, ordering)
+                    return position, _witness_for_identity_failure(
+                        first, second, witness_database, function, seed=seed
+                    )
+    return None
+
+
+# ----------------------------------------------------------------------
+# The decision procedure
+# ----------------------------------------------------------------------
 def bounded_equivalence(
     first: Query,
     second: Query,
@@ -153,46 +488,137 @@ def bounded_equivalence(
     semantics: str = SET_SEMANTICS,
     symmetry_reduction: bool = True,
     max_subsets: int = 2_000_000,
+    *,
+    enumeration: Optional[str] = None,
+    workers: Optional[int] = None,
+    executor=None,
+    seed: int = 0,
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    extra_constants: Iterable[Constant] = (),
 ) -> EquivalenceReport:
     """Decide whether ``first ≡_N second`` for ``N = bound`` (Theorem 4.8).
 
     For aggregate queries both must carry the same aggregation function, which
     must be order-decidable over the domain.  For non-aggregate queries the
     ``semantics`` parameter selects set or bag-set semantics.
+
+    ``enumeration`` selects the subset strategy: ``"canonical"`` (default,
+    orbit representatives by orderly generation), ``"full"`` (no symmetry
+    reduction), or ``"scan"`` (the legacy per-subset permutation scan, kept
+    for ablation).  ``workers > 1`` shards the canonical subsets across a
+    process pool via :mod:`repro.parallel`; ``seed`` makes the fallback
+    witness search reproducible regardless of worker scheduling.
     """
-    function = _resolve_function(first, second, domain)
-    report = EquivalenceReport(equivalent=True, bound=bound, domain=domain)
-    terms, base, fresh = build_base(first, second, bound)
-    subset_count = 2 ** len(base)
+    mode = enumeration
+    if mode is None:
+        mode = CANONICAL_ENUMERATION if symmetry_reduction else FULL_ENUMERATION
+    elif not symmetry_reduction and mode in (CANONICAL_ENUMERATION, SCAN_ENUMERATION):
+        mode = FULL_ENUMERATION
+    if mode not in (CANONICAL_ENUMERATION, FULL_ENUMERATION, SCAN_ENUMERATION):
+        raise ReproError(f"unknown enumeration mode {mode!r}")
+
+    extra_constants = tuple(extra_constants)
+    # Validate the pair, then budget-check the subset space arithmetically
+    # BEFORE enumerating orderings — Fubini(|T|) ordering enumeration on an
+    # over-budget instance would burn minutes just to reach the guard.
+    _resolve_function(first, second, domain)
+    base_size = _base_size(first, second, bound, extra_constants)
+    subset_count = 2**base_size
     if subset_count > max_subsets:
         raise ReproError(
             f"the bounded-equivalence search space has {subset_count} subsets of BASE "
-            f"(|BASE| = {len(base)}), exceeding max_subsets={max_subsets}; "
+            f"(|BASE| = {base_size}), exceeding max_subsets={max_subsets}; "
             "reduce the bound or raise max_subsets explicitly"
         )
-    orderings = [
-        ordering
-        for ordering in enumerate_complete_orderings(terms, domain)
-        if ordering.is_satisfiable()
-    ]
-    if not orderings:
+    setup = prepare_bounded_run(first, second, bound, domain, semantics, extra_constants)
+    report = EquivalenceReport(equivalent=True, bound=bound, domain=domain)
+    if not setup.orderings:
         # Degenerate corner: no terms at all (no constants and N = 0).  The
         # only database to compare over is the empty one.
-        counterexample = _compare_concrete(first, second, Database(()), function, semantics)
+        counterexample = _compare_concrete(
+            first, second, Database(()), setup.function, semantics
+        )
         if counterexample is not None:
             report.equivalent = False
             report.counterexample = counterexample
         return report
-    for subset, skipped in _iterate_subsets(base, fresh, symmetry_reduction):
+
+    if mode == SCAN_ENUMERATION:
+        return _scan_bounded_search(setup, report, seed)
+
+    enumerator: Optional[CanonicalSubsetEnumerator] = None
+    if mode == CANONICAL_ENUMERATION:
+        enumerator = CanonicalSubsetEnumerator(setup.base, setup.fresh)
+        subsets: Iterable[tuple[int, ...]] = iter(enumerator)
+    else:
+        subsets = (
+            combination
+            for size in range(len(setup.base) + 1)
+            for combination in itertools.combinations(range(len(setup.base)), size)
+        )
+
+    if workers is None:
+        from ..parallel.executor import default_workers, in_worker
+
+        workers = 1 if in_worker() else default_workers()
+    if workers > 1 or executor is not None:
+        # Sharding requires the materialized subset stream.  An explicitly
+        # supplied executor is always honored; with plain ``workers=N`` tiny
+        # spaces stay serial (over the already-built list) to skip the pool
+        # overhead.
+        subset_list = list(subsets)
+        if enumerator is not None:
+            report.subsets_skipped_by_symmetry = enumerator.skipped
+        if executor is not None or len(subset_list) >= parallel_threshold:
+            from ..parallel.tasks import parallel_bounded_search
+
+            return parallel_bounded_search(
+                first=first,
+                second=second,
+                bound=bound,
+                domain=domain,
+                semantics=semantics,
+                extra_constants=extra_constants,
+                subsets=subset_list,
+                report=report,
+                workers=workers,
+                executor=executor,
+                seed=seed,
+            )
+        subsets = iter(subset_list)
+
+    # Serial path: enumerate lazily, so an early counterexample (often on a
+    # tiny subset) is reported before the rest of the space is generated.
+    base = setup.base
+    for indices in subsets:
+        report.subsets_examined += 1
+        hit = check_subset(setup, frozenset(base[i] for i in indices), report, seed)
+        if hit is not None:
+            report.equivalent = False
+            report.counterexample = hit[1]
+            if enumerator is not None:
+                report.subsets_skipped_by_symmetry = enumerator.skipped
+            return report
+    if enumerator is not None:
+        report.subsets_skipped_by_symmetry = enumerator.skipped
+    return report
+
+
+def _scan_bounded_search(
+    setup: BoundedRunSetup, report: EquivalenceReport, seed: int
+) -> EquivalenceReport:
+    """The legacy PR 1 search loop: every subset canonicalized by a
+    ``|fresh|!`` scan, every ordering evaluated individually."""
+    for subset, skipped in _iterate_subsets(setup.base, setup.fresh, True):
         if skipped:
             report.subsets_skipped_by_symmetry += 1
             continue
         report.subsets_examined += 1
-        for ordering in orderings:
+        for ordering in setup.orderings:
             report.orderings_examined += 1
             database = SymbolicDatabase(subset, ordering)
             counterexample = _compare_over(
-                first, second, database, function, semantics, report
+                setup.first, setup.second, database, setup.function, setup.semantics, report, seed
             )
             if counterexample is not None:
                 report.equivalent = False
@@ -208,9 +634,26 @@ def local_equivalence(
     semantics: str = SET_SEMANTICS,
     symmetry_reduction: bool = True,
     max_subsets: int = 2_000_000,
+    *,
+    context: Optional[SharedBaseContext] = None,
+    workers: Optional[int] = None,
+    executor=None,
+    seed: int = 0,
 ) -> EquivalenceReport:
-    """Local equivalence: bounded equivalence with N = τ(q, q') (Section 4)."""
+    """Local equivalence: bounded equivalence with N = τ(q, q') (Section 4).
+
+    With a :class:`SharedBaseContext` the catalog-wide bound and constants are
+    used instead (still sound, since the shared bound dominates τ), unless the
+    widened BASE would blow the ``max_subsets`` budget, in which case the
+    pair-local BASE is used.
+    """
     bound = term_size_of_pair(first, second)
+    extra_constants: tuple[Constant, ...] = ()
+    if context is not None and context.bound >= bound:
+        shared_base_size = _base_size(first, second, context.bound, context.constants)
+        if 2**shared_base_size <= max_subsets:
+            bound = context.bound
+            extra_constants = context.constants
     return bounded_equivalence(
         first,
         second,
@@ -219,7 +662,22 @@ def local_equivalence(
         semantics=semantics,
         symmetry_reduction=symmetry_reduction,
         max_subsets=max_subsets,
+        workers=workers,
+        executor=executor,
+        seed=seed,
+        extra_constants=extra_constants,
     )
+
+
+def _base_size(
+    first: Query, second: Query, bound: int, extra_constants: Iterable[Constant]
+) -> int:
+    """|BASE| for the pair at the given bound, computed arithmetically (no
+    atom construction) — used to budget-check a shared context cheaply."""
+    constants = first.constants() | second.constants() | set(extra_constants)
+    term_count = len(constants) + bound
+    arities = combined_predicate_arities(first, second)
+    return sum(term_count**arity for arity in arities.values())
 
 
 def _resolve_function(
@@ -253,6 +711,7 @@ def _compare_over(
     function: Optional[AggregationFunction],
     semantics: str,
     report: EquivalenceReport,
+    seed: int = 0,
 ) -> Optional[Counterexample]:
     if function is None:
         return _compare_non_aggregate(first, second, database, semantics)
@@ -272,7 +731,7 @@ def _compare_over(
         if not function.decide_ordered_identity(
             database.ordering, left_groups[key], right_groups[key]
         ):
-            return _witness_for_identity_failure(first, second, database, function)
+            return _witness_for_identity_failure(first, second, database, function, seed=seed)
     return None
 
 
@@ -333,16 +792,18 @@ def _witness_for_identity_failure(
     database: SymbolicDatabase,
     function: AggregationFunction,
     attempts: int = 25,
+    seed: int = 0,
 ) -> Counterexample:
     """Search for a concrete instantiation on which the two queries visibly
     disagree.  The canonical instantiation is tried first, followed by random
-    realizations of the ordering; for non-shiftable functions a particular
-    instantiation may coincidentally agree, in which case only the symbolic
-    context is reported."""
+    realizations of the ordering seeded by ``seed`` (so parallel runs remain
+    reproducible regardless of worker scheduling); for non-shiftable functions
+    a particular instantiation may coincidentally agree, in which case only
+    the symbolic context is reported."""
     import random
 
     candidates = [database.ordering.instantiate()]
-    rng = random.Random(0)
+    rng = random.Random(seed)
     for _ in range(attempts):
         candidates.append(random_realization(database.ordering, rng))
     for assignment in candidates:

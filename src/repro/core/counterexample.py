@@ -77,6 +77,11 @@ def _results_differ(first: Query, second: Query, database: Database, semantics: 
     return evaluate_bag_set(first, database) != evaluate_bag_set(second, database)
 
 
+#: Default seed of the randomized witness search (kept fixed so results are
+#: reproducible even when no explicit seed is supplied).
+DEFAULT_SEARCH_SEED = 2001
+
+
 def find_counterexample(
     first: Query,
     second: Query,
@@ -86,13 +91,18 @@ def find_counterexample(
     max_facts: int = 8,
     semantics: str = SET_SEMANTICS,
     extra_values: Iterable[NumericValue] = (),
+    seed: Optional[int] = None,
 ) -> Optional[Database]:
     """Randomized search for a database distinguishing the two queries.
 
     Returns a witnessing database, or ``None`` when none was found within the
-    given number of trials (which is *not* a proof of equivalence).
+    given number of trials (which is *not* a proof of equivalence).  The
+    search draws from a private ``random.Random``: pass ``seed`` (or a whole
+    ``rng``) to control it; either way, results do not depend on process or
+    worker scheduling.
     """
-    rng = rng or random.Random(2001)
+    if rng is None:
+        rng = random.Random(DEFAULT_SEARCH_SEED if seed is None else seed)
     arities = combined_predicate_arities(first, second)
     if not arities:
         database = Database(())

@@ -20,7 +20,11 @@ Pairs using *different* aggregation functions are also outside the paper's
 decidable classes (differing names do not imply differing semantics — a ``sum``
 of values pinned to 1 is a ``count``), so they get the same treatment as the
 open fragment: ``NOT_EQUIVALENT`` with a concrete witness when the search finds
-one, ``UNKNOWN`` otherwise.
+one, ``UNKNOWN`` otherwise.  Before dispatching, a sound semantic
+normalization rewrites exactly that common case — ``sum`` over an aggregation
+variable pinned to the constant 1 becomes ``count`` (the two produce identical
+results on *every* database) — so such pairs land in the decidable
+same-function classes instead of the open fragment.
 """
 
 from __future__ import annotations
@@ -30,11 +34,19 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..aggregates.functions import AggregationFunction, PAPER_FUNCTIONS, get_function
+from ..datalog.atoms import ComparisonOp
 from ..datalog.database import Database
-from ..datalog.queries import Query, term_size_of_pair
+from ..datalog.queries import AggregateTerm, Query, term_size_of_pair
+from ..datalog.terms import Constant
 from ..domains import Domain
 from ..errors import UndecidableError, UnsupportedAggregateError
-from .bounded import Counterexample, EquivalenceReport, bounded_equivalence, local_equivalence
+from .bounded import (
+    Counterexample,
+    EquivalenceReport,
+    SharedBaseContext,
+    bounded_equivalence,
+    local_equivalence,
+)
 from .counterexample import find_counterexample
 from .quasilinear import QuasilinearVerdict, is_quasilinear_decidable, quasilinear_equivalent
 
@@ -70,6 +82,33 @@ class EquivalenceResult:
         return f"{self.verdict.value} (method: {self.method}) {self.details}".strip()
 
 
+def normalize_for_dispatch(query: Query) -> tuple[Query, Optional[str]]:
+    """Semantic normalization applied before dispatch (sound rewriting).
+
+    ``sum`` over an aggregation variable that every disjunct pins to the
+    constant 1 (via an explicit ``y = 1`` comparison) is rewritten to
+    ``count()``: each satisfying assignment contributes exactly 1 to the sum,
+    so the two queries return identical results on every database.  Returns
+    the (possibly rewritten) query and a human-readable note when the rule
+    fired.
+    """
+    aggregate = query.aggregate
+    if aggregate is None or aggregate.function != "sum" or len(aggregate.arguments) != 1:
+        return query, None
+    variable = aggregate.arguments[0]
+    one = Constant(1)
+    for disjunct in query.disjuncts:
+        pinned = any(
+            comparison.op is ComparisonOp.EQ
+            and {comparison.left, comparison.right} == {variable, one}
+            for comparison in disjunct.comparisons
+        )
+        if not pinned:
+            return query, None
+    rewritten = query.with_aggregate(AggregateTerm("count", ()))
+    return rewritten, f"sum({variable}) with {variable} = 1 rewritten to count()"
+
+
 def _decidable_by_local_equivalence(function: AggregationFunction, domain: Domain) -> bool:
     """Whether Theorem 6.5 (or 6.6 for prod over Q) applies."""
     if function.is_decomposable:
@@ -88,19 +127,68 @@ def are_equivalent(
     max_subsets: int = 2_000_000,
     counterexample_trials: int = 400,
     unknown_bound: Optional[int] = None,
+    *,
+    normalize: bool = True,
+    seed: Optional[int] = None,
+    context: Optional[SharedBaseContext] = None,
+    workers: Optional[int] = None,
 ) -> EquivalenceResult:
     """Decide (when the paper's results allow it) whether ``first ≡ second``.
 
     ``unknown_bound`` optionally requests a bounded-equivalence check with the
-    given N before reporting UNKNOWN for the undecided classes.
+    given N before reporting UNKNOWN for the undecided classes.  ``normalize``
+    applies the sound pre-dispatch rewritings (:func:`normalize_for_dispatch`);
+    ``seed`` makes every randomized witness search reproducible; ``context``
+    shares a catalog-wide BASE across matrix cells; ``workers`` shards any
+    bounded-equivalence search the dispatch performs.
     """
     if first.is_aggregate != second.is_aggregate:
         raise UnsupportedAggregateError(
             "cannot compare an aggregate query with a non-aggregate query"
         )
+    if normalize:
+        normalized_first, first_note = normalize_for_dispatch(first)
+        normalized_second, second_note = normalize_for_dispatch(second)
+        # Rewrite only when the normalized pair shares one aggregation
+        # function: that is the case the rewriting *helps* (it moves a
+        # different-function pair into the decidable same-function classes).
+        # Normalizing one side of a same-function sum/sum pair would do the
+        # opposite — push a decidable pair into the open fragment.
+        functions_align = (
+            normalized_first.aggregate_function == normalized_second.aggregate_function
+        )
+        if (first_note or second_note) and functions_align:
+            result = are_equivalent(
+                normalized_first,
+                normalized_second,
+                domain=domain,
+                prefer_quasilinear=prefer_quasilinear,
+                max_subsets=max_subsets,
+                counterexample_trials=counterexample_trials,
+                unknown_bound=unknown_bound,
+                normalize=False,
+                seed=seed,
+                context=context,
+                workers=workers,
+            )
+            # The rewriting is result-preserving on every database, so the
+            # verdict (and any witness) transfers verbatim to the originals.
+            result.method += " (after sum→count normalization)"
+            notes = "; ".join(note for note in (first_note, second_note) if note)
+            result.details = f"{result.details}; {notes}" if result.details else notes
+            return result
+    search_seed = 0 if seed is None else seed
 
     if not first.is_aggregate:
-        report = local_equivalence(first, second, domain=domain, max_subsets=max_subsets)
+        report = local_equivalence(
+            first,
+            second,
+            domain=domain,
+            max_subsets=max_subsets,
+            context=context,
+            workers=workers,
+            seed=search_seed,
+        )
         verdict = Verdict.EQUIVALENT if report.equivalent else Verdict.NOT_EQUIVALENT
         return EquivalenceResult(
             verdict,
@@ -119,7 +207,7 @@ def are_equivalent(
         # pairs, so search for a concrete witness and otherwise report
         # UNKNOWN instead of claiming NOT_EQUIVALENT without one.
         witness = find_counterexample(
-            first, second, domain=domain, trials=counterexample_trials
+            first, second, domain=domain, trials=counterexample_trials, seed=seed
         )
         if witness is not None:
             from ..engine.evaluator import evaluate
@@ -153,7 +241,7 @@ def are_equivalent(
             # The isomorphism argument is non-constructive; attach a concrete
             # witness when a quick search finds one.
             witness = find_counterexample(
-                first, second, domain=domain, trials=counterexample_trials
+                first, second, domain=domain, trials=counterexample_trials, seed=seed
             )
             if witness is not None:
                 from ..engine.evaluator import evaluate
@@ -173,7 +261,15 @@ def are_equivalent(
         )
 
     if _decidable_by_local_equivalence(function, domain):
-        report = local_equivalence(first, second, domain=domain, max_subsets=max_subsets)
+        report = local_equivalence(
+            first,
+            second,
+            domain=domain,
+            max_subsets=max_subsets,
+            context=context,
+            workers=workers,
+            seed=search_seed,
+        )
         verdict = Verdict.EQUIVALENT if report.equivalent else Verdict.NOT_EQUIVALENT
         return EquivalenceResult(
             verdict,
@@ -186,7 +282,7 @@ def are_equivalent(
 
     # Undecided fragment: avg / cntd beyond the quasilinear case, prod over Z.
     witness = find_counterexample(
-        first, second, domain=domain, trials=counterexample_trials
+        first, second, domain=domain, trials=counterexample_trials, seed=seed
     )
     if witness is not None:
         from ..engine.evaluator import evaluate
@@ -209,7 +305,13 @@ def are_equivalent(
     report = None
     if unknown_bound is not None:
         report = bounded_equivalence(
-            first, second, unknown_bound, domain=domain, max_subsets=max_subsets
+            first,
+            second,
+            unknown_bound,
+            domain=domain,
+            max_subsets=max_subsets,
+            workers=workers,
+            seed=search_seed,
         )
         if not report.equivalent:
             return EquivalenceResult(

@@ -65,9 +65,13 @@ from .planner import (
 from .symbolic import (
     SymbolicAssignment,
     SymbolicDatabase,
+    catalog_symbolic_groups,
     clear_symbolic_caches,
     execute_symbolic_plan,
+    relation_signature,
+    set_shared_gamma,
     symbolic_answer_multiset,
+    symbolic_cache_stats,
     symbolic_groups,
     symbolic_satisfying_assignments,
 )
@@ -81,6 +85,7 @@ __all__ = [
     "Plan",
     "SymbolicAssignment",
     "SymbolicDatabase",
+    "catalog_symbolic_groups",
     "clear_evaluation_caches",
     "clear_plan_cache",
     "clear_symbolic_caches",
@@ -93,9 +98,12 @@ __all__ = [
     "group_assignments",
     "naive_satisfying_assignments",
     "plan_condition",
+    "relation_signature",
     "results_equal",
     "satisfying_assignments",
+    "set_shared_gamma",
     "symbolic_answer_multiset",
+    "symbolic_cache_stats",
     "symbolic_groups",
     "symbolic_satisfying_assignments",
 ]

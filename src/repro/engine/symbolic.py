@@ -21,10 +21,23 @@ and negated atoms filter as soon as their variables are bound.  Symbolic
 ``Γ(q, S_L)`` is memoized per ``(query, database)`` pair, so the thousands of
 evaluations performed by one bounded-equivalence run (and across runs sharing
 subsets, e.g. an equivalence matrix over a catalog) are each paid for once.
+
+For *comparison-free* queries the memoization is sharper: the satisfying
+assignments, groups, and answer multisets depend only on the canonical
+relations of the predicates the query mentions (constants canonicalize to
+themselves and block representatives ignore block order), so results are
+keyed by that *restricted relation signature* instead of the full
+``(atoms, ordering)`` pair.  One Γ computation is then shared across every
+ordering of a block partition, across subsets that merge to the same
+relations, and — with a catalog-wide BASE — across every catalog pair that
+mentions the query (the ROADMAP's shared-BASE item).
+:func:`catalog_symbolic_groups` is the batched, BASE-sharing entry point that
+evaluates a whole catalog over one ``S_L`` through that cache.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from functools import cached_property, lru_cache
 from typing import Iterator, Mapping, Optional
@@ -37,6 +50,22 @@ from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
 from ..orderings.complete_orderings import CompleteOrdering
 from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
+
+
+@lru_cache(maxsize=8192)
+def _representative_map(ordering: CompleteOrdering) -> dict[Term, Term]:
+    """Every term of the ordering mapped to its block representative.
+
+    One bounded-equivalence run pairs each of its (few) orderings with
+    thousands of subsets; computing the map once per ordering keeps the
+    per-subset canonicalization a plain dict lookup.
+    """
+    mapping: dict[Term, Term] = {}
+    for index, block in enumerate(ordering.blocks):
+        representative = ordering.representative(index)
+        for term in block:
+            mapping[term] = representative
+    return mapping
 
 
 @dataclass(frozen=True)
@@ -54,15 +83,19 @@ class SymbolicDatabase:
 
     def canonical(self, term: Term) -> Term:
         """The representative of the term's block under the ordering."""
-        return self.ordering.representative(self.ordering.block_index(term))
+        try:
+            return _representative_map(self.ordering)[term]
+        except KeyError:
+            raise KeyError(f"term {term} does not occur in this ordering") from None
 
     @cached_property
     def canonical_relations(self) -> dict[str, frozenset[tuple[Term, ...]]]:
         """The atoms of the database with every term replaced by its block
         representative, grouped by predicate."""
+        representative = _representative_map(self.ordering)
         relations: dict[str, set[tuple[Term, ...]]] = {}
         for atom in self.atoms:
-            row = tuple(self.canonical(argument) for argument in atom.arguments)
+            row = tuple(representative[argument] for argument in atom.arguments)
             relations.setdefault(atom.predicate, set()).add(row)
         return {predicate: frozenset(rows) for predicate, rows in relations.items()}
 
@@ -152,15 +185,105 @@ class SymbolicAssignment:
         return tuple(self.term_of(term, database) for term in terms)
 
 
+@lru_cache(maxsize=4096)
+def query_uses_comparisons(query: Query) -> bool:
+    """Whether any disjunct of the query contains a comparison literal.
+
+    Comparison-free queries admit the restricted-relation-signature caches
+    below: their symbolic results cannot depend on the block *order* of the
+    ordering, only on which terms it equates.
+    """
+    return any(disjunct.comparisons for disjunct in query.disjuncts)
+
+
+@lru_cache(maxsize=4096)
+def _query_predicates(query: Query) -> tuple[str, ...]:
+    return tuple(sorted(query.predicates()))
+
+
+def relation_signature(query: Query, database: SymbolicDatabase) -> tuple:
+    """The canonical relations of the database restricted to the predicates
+    the query mentions — the cache key under which comparison-free symbolic
+    results are shared across orderings, subsets, and catalog pairs."""
+    relations = database.canonical_relations
+    empty: frozenset = frozenset()
+    return tuple(
+        (predicate, relations.get(predicate, empty))
+        for predicate in _query_predicates(query)
+    )
+
+
+#: Whether the shared (relation-signature keyed) Γ caches are active.  The
+#: flag exists for ablation benchmarks; production code leaves it on.
+_SHARED_GAMMA_ENABLED = True
+
+#: Per-cache entry cap; dicts iterate in insertion order, so overflow evicts
+#: the oldest quarter (bounded memory for long-lived processes sweeping many
+#: catalogs, without the per-hit bookkeeping of a true LRU).
+_SHARED_CACHE_LIMIT = 65536
+
+_ASSIGNMENTS_BY_RELATIONS: dict[tuple, tuple[SymbolicAssignment, ...]] = {}
+_GROUPS_BY_RELATIONS: dict[tuple, dict] = {}
+_MULTISET_BY_RELATIONS: dict[tuple, dict] = {}
+_SHARED_GAMMA_STATS = {"hits": 0, "misses": 0}
+
+
+def _shared_cache_put(cache: dict, key, value) -> None:
+    if len(cache) >= _SHARED_CACHE_LIMIT:
+        for stale in list(itertools.islice(iter(cache), _SHARED_CACHE_LIMIT // 4)):
+            del cache[stale]
+    cache[key] = value
+
+
+def set_shared_gamma(enabled: bool) -> bool:
+    """Enable/disable the shared Γ caches (ablation hook); returns the
+    previous setting."""
+    global _SHARED_GAMMA_ENABLED
+    previous = _SHARED_GAMMA_ENABLED
+    _SHARED_GAMMA_ENABLED = enabled
+    return previous
+
+
+def symbolic_cache_stats() -> dict[str, int]:
+    """Hit/miss counters and sizes of the shared symbolic caches."""
+    return {
+        "shared_hits": _SHARED_GAMMA_STATS["hits"],
+        "shared_misses": _SHARED_GAMMA_STATS["misses"],
+        "assignments_entries": len(_ASSIGNMENTS_BY_RELATIONS),
+        "groups_entries": len(_GROUPS_BY_RELATIONS),
+        "multiset_entries": len(_MULTISET_BY_RELATIONS),
+    }
+
+
+def _shares_by_relations(query: Query) -> bool:
+    return _SHARED_GAMMA_ENABLED and not query_uses_comparisons(query)
+
+
 def symbolic_satisfying_assignments(
     query: Query, database: SymbolicDatabase
 ) -> list[SymbolicAssignment]:
     """The symbolic counterpart of Γ(q, S_L)."""
+    if _shares_by_relations(query):
+        key = (query, relation_signature(query, database))
+        cached = _ASSIGNMENTS_BY_RELATIONS.get(key)
+        if cached is None:
+            _SHARED_GAMMA_STATS["misses"] += 1
+            cached = _compute_symbolic_assignments(query, database)
+            _shared_cache_put(_ASSIGNMENTS_BY_RELATIONS, key, cached)
+        else:
+            _SHARED_GAMMA_STATS["hits"] += 1
+        return list(cached)
     return list(_symbolic_assignments_cached(query, database))
 
 
 @lru_cache(maxsize=16384)
 def _symbolic_assignments_cached(
+    query: Query, database: SymbolicDatabase
+) -> tuple[SymbolicAssignment, ...]:
+    return _compute_symbolic_assignments(query, database)
+
+
+def _compute_symbolic_assignments(
     query: Query, database: SymbolicDatabase
 ) -> tuple[SymbolicAssignment, ...]:
     results: list[SymbolicAssignment] = []
@@ -172,8 +295,14 @@ def _symbolic_assignments_cached(
 
 
 def clear_symbolic_caches() -> None:
-    """Drop the memoized symbolic Γ(q, S_L) results."""
+    """Drop the memoized symbolic Γ(q, S_L) results (both keyings)."""
     _symbolic_assignments_cached.cache_clear()
+    _representative_map.cache_clear()
+    _ASSIGNMENTS_BY_RELATIONS.clear()
+    _GROUPS_BY_RELATIONS.clear()
+    _MULTISET_BY_RELATIONS.clear()
+    _SHARED_GAMMA_STATS["hits"] = 0
+    _SHARED_GAMMA_STATS["misses"] = 0
 
 
 # ----------------------------------------------------------------------
@@ -305,7 +434,24 @@ def symbolic_groups(
     query: Query, database: SymbolicDatabase
 ) -> dict[tuple[Term, ...], list[tuple[Term, ...]]]:
     """For every symbolic group key d̄ (a tuple of block representatives), the
-    bag of aggregation-variable tuples collected for that group."""
+    bag of aggregation-variable tuples collected for that group.
+
+    For comparison-free queries the result is cached by the restricted
+    relation signature and shared; callers must treat it as read-only.
+    """
+    if _shares_by_relations(query):
+        key = (query, relation_signature(query, database))
+        cached = _GROUPS_BY_RELATIONS.get(key)
+        if cached is None:
+            cached = _compute_symbolic_groups(query, database)
+            _shared_cache_put(_GROUPS_BY_RELATIONS, key, cached)
+        return cached
+    return _compute_symbolic_groups(query, database)
+
+
+def _compute_symbolic_groups(
+    query: Query, database: SymbolicDatabase
+) -> dict[tuple[Term, ...], list[tuple[Term, ...]]]:
     aggregation_variables = query.aggregation_variables()
     groups: dict[tuple[Term, ...], list[tuple[Term, ...]]] = {}
     for assignment in symbolic_satisfying_assignments(query, database):
@@ -319,9 +465,40 @@ def symbolic_answer_multiset(
     query: Query, database: SymbolicDatabase
 ) -> dict[tuple[Term, ...], int]:
     """For non-aggregate queries: the answer tuples with multiplicities
-    (bag-set semantics, used by the bag-set equivalence reduction)."""
+    (bag-set semantics, used by the bag-set equivalence reduction).
+
+    Cached by restricted relation signature for comparison-free queries;
+    callers must treat the result as read-only.
+    """
+    if _shares_by_relations(query):
+        key = (query, relation_signature(query, database))
+        cached = _MULTISET_BY_RELATIONS.get(key)
+        if cached is None:
+            cached = _compute_answer_multiset(query, database)
+            _shared_cache_put(_MULTISET_BY_RELATIONS, key, cached)
+        return cached
+    return _compute_answer_multiset(query, database)
+
+
+def _compute_answer_multiset(
+    query: Query, database: SymbolicDatabase
+) -> dict[tuple[Term, ...], int]:
     result: dict[tuple[Term, ...], int] = {}
     for assignment in symbolic_satisfying_assignments(query, database):
         key = assignment.terms_of(query.head_terms, database)
         result[key] = result.get(key, 0) + 1
     return result
+
+
+def catalog_symbolic_groups(
+    queries: Mapping[str, Query], database: SymbolicDatabase
+) -> dict[str, dict[tuple[Term, ...], list[tuple[Term, ...]]]]:
+    """BASE-sharing entry point: the symbolic groups of every query of a
+    catalog over one ``S_L``.
+
+    When the catalog is checked pairwise over a shared BASE (see
+    :class:`repro.core.bounded.SharedBaseContext`), each Γ(q, S_L) is computed
+    once here and every pair mentioning ``q`` reuses it through the
+    restricted-relation-signature cache.
+    """
+    return {name: symbolic_groups(query, database) for name, query in queries.items()}

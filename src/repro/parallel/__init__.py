@@ -1,0 +1,59 @@
+"""Parallel decision subsystem: sharded bounded equivalence and equivalence
+matrices.
+
+The decision procedures of the paper enumerate huge but *independent* check
+spaces — (subset, ordering) pairs for bounded equivalence, query pairs for an
+equivalence matrix.  This package splits those spaces into picklable shards
+(:mod:`repro.parallel.tasks`) and runs them through pluggable executors
+(:mod:`repro.parallel.executor`): serial for reference and debugging, or a
+multiprocessing pool with chunked dispatch, early exit on the first
+counterexample via a shared cancellation event, and deterministic merging of
+verdicts and witnesses.
+
+Users normally reach this subsystem through ``workers=N`` on
+:func:`repro.core.bounded.bounded_equivalence` or
+:func:`repro.workloads.equivalence_matrix`; the ``REPRO_WORKERS`` environment
+variable sets the default worker count process-wide.
+"""
+
+from .executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    cancellation_requested,
+    default_workers,
+    in_worker,
+    resolve_executor,
+)
+from .tasks import (
+    BoundedCheckOutcome,
+    BoundedCheckTask,
+    PairCheckTask,
+    PairOutcome,
+    bounded_check_tasks,
+    derive_pair_seed,
+    merge_bounded_outcomes,
+    pair_check_tasks,
+    parallel_bounded_search,
+    run_bounded_check_task,
+    run_pair_task,
+)
+
+__all__ = [
+    "BoundedCheckOutcome",
+    "BoundedCheckTask",
+    "PairCheckTask",
+    "PairOutcome",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "bounded_check_tasks",
+    "cancellation_requested",
+    "default_workers",
+    "derive_pair_seed",
+    "in_worker",
+    "merge_bounded_outcomes",
+    "pair_check_tasks",
+    "parallel_bounded_search",
+    "resolve_executor",
+    "run_bounded_check_task",
+    "run_pair_task",
+]

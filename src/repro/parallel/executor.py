@@ -1,0 +1,186 @@
+"""Pluggable executors for the parallel decision subsystem.
+
+Two interchangeable executors run the picklable check tasks built by
+:mod:`repro.parallel.tasks`:
+
+* :class:`SerialExecutor` — runs tasks in order in the current process; the
+  reference implementation the differential tests compare against.
+* :class:`ProcessExecutor` — a ``multiprocessing`` pool with chunked
+  dispatch, early exit on the first counterexample via a shared cancellation
+  event, and a guard against nested pools (a worker that itself calls a
+  parallel entry point degrades to serial execution).
+
+Both executors return the full list of task outcomes; *merging* those
+outcomes into a verdict is the caller's job and is deterministic: outcomes
+carry global positions and the merge picks the minimum, so the verdict never
+depends on worker scheduling, and every reported witness is valid.  Under
+early exit the *set* of shards that get to report a witness can depend on
+timing (a cancelled shard may not have reached its counterexample yet), so
+the particular witness chosen may differ between runs — only runs without
+cancellation (all equivalent pairs, and any run through SerialExecutor) are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Optional, Protocol, Sequence
+
+#: Environment variable read by :func:`default_workers`; CI legs set it to
+#: exercise the parallel paths across the whole test suite.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set in pool workers: nested parallel entry points degrade to serial.
+_IN_WORKER = False
+
+#: The shared cancellation event of the current pool (worker side).
+_CANCEL_EVENT = None
+
+
+def available_cores() -> int:
+    """The number of cores this process may actually run on (scheduling
+    affinity where the platform exposes it — containers often pin fewer cores
+    than ``os.cpu_count`` reports)."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return max(1, len(getter(0)))
+        except OSError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def default_workers() -> int:
+    """The worker count used when callers pass ``workers=None``: the value of
+    ``REPRO_WORKERS`` (default 1, i.e. serial)."""
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def in_worker() -> bool:
+    """Whether the current process is a pool worker (nested parallelism is
+    suppressed to avoid fork bombs)."""
+    return _IN_WORKER
+
+
+def cancellation_requested() -> bool:
+    """Whether the pool's shared cancellation event is set (always ``False``
+    in serial runs, where early exit happens in the dispatch loop)."""
+    return _CANCEL_EVENT is not None and _CANCEL_EVENT.is_set()
+
+
+def _initialize_worker(event) -> None:
+    global _IN_WORKER, _CANCEL_EVENT
+    _IN_WORKER = True
+    _CANCEL_EVENT = event
+
+
+class Executor(Protocol):
+    """The executor interface: run ``worker`` over ``tasks``, optionally
+    stopping early once ``stop`` accepts an outcome."""
+
+    workers: int
+
+    def run(
+        self,
+        worker: Callable,
+        tasks: Sequence,
+        stop: Optional[Callable[[object], bool]] = None,
+    ) -> list: ...
+
+
+class SerialExecutor:
+    """Run every task in order in the current process."""
+
+    workers = 1
+
+    def run(
+        self,
+        worker: Callable,
+        tasks: Sequence,
+        stop: Optional[Callable[[object], bool]] = None,
+    ) -> list:
+        outcomes = []
+        for task in tasks:
+            outcome = worker(task)
+            outcomes.append(outcome)
+            if stop is not None and stop(outcome):
+                break
+        return outcomes
+
+
+class ProcessExecutor:
+    """A multiprocessing pool with chunked dispatch and cooperative early exit.
+
+    Tasks are handed to the pool with ``imap_unordered`` (so fast shards do
+    not wait for slow ones); once ``stop`` accepts an outcome the shared
+    cancellation event is set and the remaining tasks return immediately with
+    their ``cancelled`` marker.  The returned outcome list is complete, so the
+    caller's deterministic merge sees every shard that did real work.
+
+    ``workers`` is the sharding degree; the pool itself never spawns more
+    processes than the machine has cores (oversubscribing a CPU-bound search
+    only adds fork and scheduling overhead).  Task decomposition and the
+    position-based merges are independent of the pool size, so results are
+    identical whatever the core count.
+    """
+
+    def __init__(self, workers: int, chunksize: int = 1):
+        self.workers = max(1, int(workers))
+        self.chunksize = max(1, int(chunksize))
+
+    def run(
+        self,
+        worker: Callable,
+        tasks: Sequence,
+        stop: Optional[Callable[[object], bool]] = None,
+    ) -> list:
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1 or in_worker():
+            return SerialExecutor().run(worker, tasks, stop)
+        import gc
+
+        # Forked workers inherit the parent heap copy-on-write; collecting
+        # first trims garbage pages the children would otherwise fault in.
+        gc.collect()
+        context = _pool_context()
+        event = context.Event()
+        outcomes = []
+        processes = max(1, min(self.workers, len(tasks), available_cores()))
+        with context.Pool(
+            processes=processes,
+            initializer=_initialize_worker,
+            initargs=(event,),
+        ) as pool:
+            for outcome in pool.imap_unordered(worker, tasks, chunksize=self.chunksize):
+                outcomes.append(outcome)
+                if stop is not None and stop(outcome) and not event.is_set():
+                    event.set()
+        return outcomes
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits warm caches); fall back to the
+    platform default where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def resolve_executor(
+    workers: Optional[int] = None, executor: Optional[Executor] = None
+) -> Executor:
+    """An executor for the requested worker count: an explicit executor wins,
+    ``workers=None`` consults ``REPRO_WORKERS``, and 1 (or running inside a
+    pool worker) means serial."""
+    if executor is not None:
+        return executor
+    if workers is None:
+        workers = 1 if in_worker() else default_workers()
+    if workers <= 1 or in_worker():
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -1,0 +1,317 @@
+"""Work decomposition for the parallel decision subsystem.
+
+The decision procedures factor into independent, picklable check tasks:
+
+* :class:`BoundedCheckTask` — a shard of the bounded-equivalence search: a
+  chunk of orbit-canonical subsets of BASE (as index tuples into the
+  canonically ordered BASE), checked against every ordering class.  Workers
+  rebuild the run state (BASE, orderings, aggregation function) locally and
+  memoize it per process, so tasks stay small on the wire.
+* :class:`PairCheckTask` — one (name_a, name_b) cell of an equivalence
+  matrix, dispatched through :func:`repro.core.equivalence.are_equivalent`
+  with a :class:`~repro.core.bounded.SharedBaseContext` so the symbolic
+  engine's Γ(q, S_L) memoization is reused across every pair that shares a
+  query (per worker process).
+
+Outcomes carry global positions, so merging is deterministic: the verdict
+never depends on worker scheduling, and when several shards report
+counterexamples the one at the smallest (subset, ordering) position wins.
+(Under early-exit cancellation the set of *reporting* shards can depend on
+timing, so the chosen witness — always valid — may vary between runs; pair
+tasks have no early exit and are fully reproducible.)
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.bounded import (
+    BoundedRunSetup,
+    CheckStats,
+    Counterexample,
+    EquivalenceReport,
+    SharedBaseContext,
+    check_subset,
+    prepare_bounded_run,
+)
+from ..core.equivalence import EquivalenceResult, Verdict, are_equivalent
+from ..datalog.queries import Query
+from ..datalog.terms import Constant
+from ..domains import Domain
+from .executor import Executor, cancellation_requested, resolve_executor
+
+# ----------------------------------------------------------------------
+# Bounded-equivalence shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundedCheckTask:
+    """A picklable shard of a bounded-equivalence search.
+
+    ``chunk`` holds ``(position, subset_indices)`` pairs; positions are global
+    ranks in the canonical enumeration order and index tuples refer to the
+    canonically (str-)sorted BASE, which the worker re-derives.
+    """
+
+    index: int
+    first: Query
+    second: Query
+    bound: int
+    domain: Domain
+    semantics: str
+    extra_constants: tuple[Constant, ...]
+    seed: int
+    chunk: tuple[tuple[int, tuple[int, ...]], ...]
+
+    def _setup_key(self) -> tuple:
+        return (
+            self.first,
+            self.second,
+            self.bound,
+            self.domain,
+            self.semantics,
+            self.extra_constants,
+        )
+
+
+@dataclass
+class BoundedCheckOutcome:
+    """The result of one shard: merged statistics plus, when the shard found
+    a counterexample, its global ``(subset_position, ordering_position)``."""
+
+    task_index: int
+    stats: CheckStats
+    found: Optional[tuple[tuple[int, int], Counterexample]] = None
+    cancelled: bool = False
+
+
+#: Per-process memo of run setups, so a worker prepares BASE and the ordering
+#: classes once per (pair, bound) no matter how many shards it executes.
+#: Setups are heavy (materialized BASE + orderings), so the memo is capped:
+#: on overflow the oldest entries are evicted (dicts iterate insertion-first).
+_SETUP_MEMO: dict[tuple, BoundedRunSetup] = {}
+_SETUP_MEMO_LIMIT = 64
+
+
+def _setup_for(task: BoundedCheckTask) -> BoundedRunSetup:
+    key = task._setup_key()
+    setup = _SETUP_MEMO.get(key)
+    if setup is None:
+        setup = prepare_bounded_run(
+            task.first, task.second, task.bound, task.domain, task.semantics, task.extra_constants
+        )
+        if len(_SETUP_MEMO) >= _SETUP_MEMO_LIMIT:
+            for stale in list(_SETUP_MEMO)[: _SETUP_MEMO_LIMIT // 4]:
+                del _SETUP_MEMO[stale]
+        _SETUP_MEMO[key] = setup
+    return setup
+
+
+def run_bounded_check_task(task: BoundedCheckTask) -> BoundedCheckOutcome:
+    """Execute one shard; stops early on the first counterexample or when the
+    pool's cancellation event fires."""
+    setup = _setup_for(task)
+    stats = CheckStats()
+    base = setup.base
+    for position, indices in task.chunk:
+        if cancellation_requested():
+            return BoundedCheckOutcome(task.index, stats, cancelled=True)
+        stats.subsets_examined += 1
+        hit = check_subset(setup, frozenset(base[i] for i in indices), stats, task.seed)
+        if hit is not None:
+            return BoundedCheckOutcome(task.index, stats, ((position, hit[0]), hit[1]))
+    return BoundedCheckOutcome(task.index, stats)
+
+
+def bounded_check_tasks(
+    first: Query,
+    second: Query,
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: tuple[Constant, ...],
+    subsets: Sequence[tuple[int, ...]],
+    shards: int,
+    seed: int = 0,
+) -> list[BoundedCheckTask]:
+    """Split an enumerated subset stream into round-robin shards.
+
+    Subsets arrive in (size, lex) order, so round-robin interleaving gives
+    every shard the same size profile — the cheap small subsets and the
+    expensive large ones are spread evenly.
+    """
+    shards = max(1, min(shards, len(subsets))) if subsets else 1
+    chunks: list[list[tuple[int, tuple[int, ...]]]] = [[] for _ in range(shards)]
+    for position, indices in enumerate(subsets):
+        chunks[position % shards].append((position, indices))
+    return [
+        BoundedCheckTask(
+            index=index,
+            first=first,
+            second=second,
+            bound=bound,
+            domain=domain,
+            semantics=semantics,
+            extra_constants=extra_constants,
+            seed=seed,
+            chunk=tuple(chunk),
+        )
+        for index, chunk in enumerate(chunks)
+        if chunk
+    ]
+
+
+def merge_bounded_outcomes(
+    report: EquivalenceReport, outcomes: Sequence[BoundedCheckOutcome]
+) -> EquivalenceReport:
+    """Deterministically fold shard outcomes into the report: statistics are
+    summed and the counterexample at the smallest global position wins."""
+    best: Optional[tuple[tuple[int, int], Counterexample]] = None
+    cancelled = 0
+    for outcome in outcomes:
+        outcome.stats.merge_into(report)
+        if outcome.cancelled:
+            cancelled += 1
+        if outcome.found is not None and (best is None or outcome.found[0] < best[0]):
+            best = outcome.found
+    if best is not None:
+        report.equivalent = False
+        report.counterexample = best[1]
+    if cancelled:
+        report.notes.append(
+            f"{cancelled} shard(s) cancelled after the first counterexample; "
+            "statistics cover the work actually performed"
+        )
+    return report
+
+
+def parallel_bounded_search(
+    *,
+    first: Query,
+    second: Query,
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: tuple[Constant, ...],
+    subsets: Sequence[tuple[int, ...]],
+    report: EquivalenceReport,
+    workers: Optional[int],
+    executor: Optional[Executor],
+    seed: int,
+) -> EquivalenceReport:
+    """Shard an enumerated bounded-equivalence search across an executor and
+    merge the outcomes (called by :func:`repro.core.bounded.bounded_equivalence`
+    once it has validated the pair and enumerated the canonical subsets)."""
+    executor = resolve_executor(workers, executor)
+    shard_count = max(1, getattr(executor, "workers", 1)) * 4
+    tasks = bounded_check_tasks(
+        first, second, bound, domain, semantics, extra_constants, subsets, shard_count, seed
+    )
+    outcomes = executor.run(
+        run_bounded_check_task, tasks, stop=lambda outcome: outcome.found is not None
+    )
+    report.workers_used = getattr(executor, "workers", 1)
+    report.notes.append(
+        f"parallel search: {len(tasks)} shard(s) over {report.workers_used} worker(s)"
+    )
+    return merge_bounded_outcomes(report, outcomes)
+
+
+# ----------------------------------------------------------------------
+# Equivalence-matrix shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PairCheckTask:
+    """One cell of an equivalence matrix, with everything the dispatcher
+    needs (picklable)."""
+
+    index: int
+    name_a: str
+    name_b: str
+    first: Query
+    second: Query
+    domain: Domain
+    counterexample_trials: int
+    max_subsets: int
+    unknown_bound: Optional[int]
+    normalize: bool
+    seed: Optional[int]
+    context: Optional[SharedBaseContext]
+
+
+@dataclass
+class PairOutcome:
+    task_index: int
+    name_a: str
+    name_b: str
+    result: EquivalenceResult
+
+
+def derive_pair_seed(seed: Optional[int], name_a: str, name_b: str) -> Optional[int]:
+    """A deterministic per-pair seed (stable across runs and processes, unlike
+    the salted builtin ``hash``)."""
+    if seed is None:
+        return None
+    return zlib.crc32(f"{seed}:{name_a}:{name_b}".encode())
+
+
+def run_pair_task(task: PairCheckTask) -> PairOutcome:
+    """Decide one matrix cell.  Pairs mixing an aggregate with a non-aggregate
+    query are recorded as ``incomparable shapes`` rather than raising, so one
+    odd catalog entry does not abort the sweep."""
+    if task.first.is_aggregate != task.second.is_aggregate:
+        result = EquivalenceResult(
+            Verdict.NOT_EQUIVALENT,
+            method="incomparable shapes",
+            domain=task.domain,
+            details="one query is aggregate and the other is not",
+        )
+    else:
+        result = are_equivalent(
+            task.first,
+            task.second,
+            domain=task.domain,
+            counterexample_trials=task.counterexample_trials,
+            max_subsets=task.max_subsets,
+            unknown_bound=task.unknown_bound,
+            normalize=task.normalize,
+            seed=derive_pair_seed(task.seed, task.name_a, task.name_b),
+            context=task.context,
+        )
+    return PairOutcome(task.index, task.name_a, task.name_b, result)
+
+
+def pair_check_tasks(
+    queries: Mapping[str, Query],
+    *,
+    domain: Domain,
+    counterexample_trials: int,
+    max_subsets: int,
+    unknown_bound: Optional[int],
+    normalize: bool,
+    seed: Optional[int],
+    context: Optional[SharedBaseContext],
+) -> list[PairCheckTask]:
+    """One task per unordered pair of catalog queries (``name_a < name_b``)."""
+    names = sorted(queries)
+    tasks: list[PairCheckTask] = []
+    for position, name_a in enumerate(names):
+        for name_b in names[position + 1 :]:
+            tasks.append(
+                PairCheckTask(
+                    index=len(tasks),
+                    name_a=name_a,
+                    name_b=name_b,
+                    first=queries[name_a],
+                    second=queries[name_b],
+                    domain=domain,
+                    counterexample_trials=counterexample_trials,
+                    max_subsets=max_subsets,
+                    unknown_bound=unknown_bound,
+                    normalize=normalize,
+                    seed=seed,
+                    context=context,
+                )
+            )
+    return tasks

@@ -10,17 +10,28 @@ the batched entry points the examples and benchmarks drive:
 * :func:`equivalence_matrix` — run the paper's strongest applicable decision
   procedure on every unordered pair of catalog queries, the bulk analogue of
   :func:`repro.core.equivalence.are_equivalent`.
+
+The matrix routes through the parallel decision subsystem
+(:mod:`repro.parallel`): every cell is an independent, picklable task, a
+catalog-wide :class:`~repro.core.bounded.SharedBaseContext` lets the symbolic
+engine reuse Γ(q, S_L) across every pair sharing a query, and
+``workers=N`` dispatches the cells across a process pool.  ``workers=None``
+honours the ``REPRO_WORKERS`` environment variable; the serial path runs the
+very same tasks through the serial executor, so the two can never diverge.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from ..core.equivalence import EquivalenceResult, Verdict, are_equivalent
+from ..core.bounded import SharedBaseContext
+from ..core.equivalence import EquivalenceResult
 from ..datalog.database import Database
 from ..datalog.queries import Query
 from ..domains import Domain
 from ..engine.evaluator import evaluate
+from ..parallel.executor import Executor, resolve_executor
+from ..parallel.tasks import pair_check_tasks, run_pair_task
 
 
 def evaluate_many(
@@ -41,6 +52,12 @@ def equivalence_matrix(
     counterexample_trials: int = 400,
     max_subsets: int = 2_000_000,
     unknown_bound: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    seed: Optional[int] = None,
+    normalize: bool = True,
+    shared_base: bool = True,
 ) -> dict[tuple[str, str], EquivalenceResult]:
     """Pairwise equivalence over a query catalog.
 
@@ -50,29 +67,29 @@ def equivalence_matrix(
     (their results live in different spaces, so no database can make them
     agree) rather than raising, so one odd catalog entry does not abort the
     whole sweep.
+
+    ``workers=N`` shards the cells across N processes (``None`` consults
+    ``REPRO_WORKERS``); ``seed`` derives a deterministic per-pair seed for the
+    randomized witness searches, so results are reproducible regardless of
+    worker scheduling; ``shared_base`` activates the catalog-wide BASE that
+    lets pairs reaching the bounded procedure reuse memoized Γ(q, S_L).
     """
-    names = sorted(queries)
-    results: dict[tuple[str, str], EquivalenceResult] = {}
-    for position, name_a in enumerate(names):
-        for name_b in names[position + 1 :]:
-            first, second = queries[name_a], queries[name_b]
-            if first.is_aggregate != second.is_aggregate:
-                results[(name_a, name_b)] = EquivalenceResult(
-                    Verdict.NOT_EQUIVALENT,
-                    method="incomparable shapes",
-                    domain=domain,
-                    details="one query is aggregate and the other is not",
-                )
-                continue
-            results[(name_a, name_b)] = are_equivalent(
-                first,
-                second,
-                domain=domain,
-                counterexample_trials=counterexample_trials,
-                max_subsets=max_subsets,
-                unknown_bound=unknown_bound,
-            )
-    return results
+    context = SharedBaseContext.from_catalog(queries.values()) if shared_base else None
+    tasks = pair_check_tasks(
+        queries,
+        domain=domain,
+        counterexample_trials=counterexample_trials,
+        max_subsets=max_subsets,
+        unknown_bound=unknown_bound,
+        normalize=normalize,
+        seed=seed,
+        context=context,
+    )
+    outcomes = resolve_executor(workers, executor).run(run_pair_task, tasks)
+    return {
+        (outcome.name_a, outcome.name_b): outcome.result
+        for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index)
+    }
 
 
 def format_equivalence_matrix(

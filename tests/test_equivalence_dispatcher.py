@@ -57,13 +57,24 @@ class TestDispatcher:
         assert result.counterexample is not None
         assert result.counterexample.database is not None
 
-    def test_different_functions_agreeing_everywhere_report_unknown(self):
+    def test_pinned_sum_vs_count_settled_by_normalization(self):
         # sum of values pinned to 1 is a count: the queries agree on every
-        # database, so no witness exists and the paper does not settle the
-        # pair — the only sound verdicts are EQUIVALENT or UNKNOWN.
+        # database, so no witness exists and the only sound verdicts are
+        # EQUIVALENT or UNKNOWN.  The pre-dispatch normalization rewrites the
+        # sum query to a count query and settles the pair syntactically.
         first = parse_query("q(s, sum(a)) :- r(s, a), a = 1")
         second = parse_query("q(s, count()) :- r(s, a), a = 1")
         result = are_equivalent(first, second)
+        assert result.verdict is Verdict.EQUIVALENT
+        assert "normalization" in result.method
+
+    def test_different_functions_agreeing_everywhere_report_unknown_unnormalized(self):
+        # Without the normalization pass the pair stays in the open fragment:
+        # no witness exists, so the dispatcher must fall back to UNKNOWN (the
+        # PR 1 behaviour, kept reachable for ablation).
+        first = parse_query("q(s, sum(a)) :- r(s, a), a = 1")
+        second = parse_query("q(s, count()) :- r(s, a), a = 1")
+        result = are_equivalent(first, second, normalize=False)
         assert result.verdict is Verdict.UNKNOWN
         assert result.counterexample is None
 

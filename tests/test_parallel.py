@@ -1,0 +1,409 @@
+"""Tests for the parallel decision subsystem (:mod:`repro.parallel`).
+
+Covers the orbit-canonical subset enumeration (pinned against the legacy
+permutation-scan canonicalization), differential serial-vs-parallel checks
+for ``bounded_equivalence`` and ``equivalence_matrix``, executor behaviour
+(early exit, deterministic merge, worker defaults), seed threading, and the
+sum→count pre-dispatch normalization.
+"""
+
+import os
+
+import pytest
+
+from repro import Verdict, parse_query
+from repro.core import SharedBaseContext, normalize_for_dispatch
+from repro.core.bounded import (
+    CanonicalSubsetEnumerator,
+    _canonical_subset,
+    _iterate_subsets,
+    bounded_equivalence,
+    build_base,
+)
+from repro.datalog.queries import term_size_of_pair
+from repro.engine import evaluate_aggregate, evaluate_bag_set, evaluate_set
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    bounded_check_tasks,
+    derive_pair_seed,
+    resolve_executor,
+    run_bounded_check_task,
+)
+from repro.workloads import QueryGenerator, QueryProfile, build_warehouse, equivalence_matrix
+
+# ----------------------------------------------------------------------
+# Orbit-canonical enumeration
+# ----------------------------------------------------------------------
+ENUMERATION_CASES = [
+    ("q(count()) :- p(y), not r(y)", "q(count()) :- p(y)", 2),
+    ("q(max(y)) :- p(y), y > 3", "q(max(y)) :- p(y), r(y, y)", 2),
+    ("q(sum(y)) :- p(y, z)", "q(sum(y)) :- p(y, w)", 2),
+    ("q(count()) :- p(y)", "q(count()) :- p(y), not r(y)", 3),
+]
+
+
+class TestCanonicalEnumeration:
+    @pytest.mark.parametrize("first_text,second_text,bound", ENUMERATION_CASES)
+    def test_pinned_against_legacy_scan(self, first_text, second_text, bound):
+        """The enumerator must generate exactly the canonical representatives
+        the legacy |fresh|! permutation scan selects — same subsets, and the
+        exact count of skipped symmetry duplicates."""
+        first, second = parse_query(first_text), parse_query(second_text)
+        _, base, fresh = build_base(first, second, bound)
+        enumerator = CanonicalSubsetEnumerator(base, fresh)
+        generated = [frozenset(enumerator.base[i] for i in indices) for indices in enumerator]
+        legacy = [
+            subset for subset, skipped in _iterate_subsets(base, fresh, True) if not skipped
+        ]
+        assert set(generated) == set(legacy)
+        assert len(generated) == len(legacy)  # no duplicates generated
+        assert len(generated) + enumerator.skipped == 2 ** len(base)
+        # Every generated representative is a fixed point of the legacy
+        # canonicalization.
+        for subset in generated:
+            assert _canonical_subset(subset, fresh) == subset
+
+    def test_single_fresh_variable_enumerates_everything(self):
+        first = parse_query("q(count()) :- p(y)")
+        _, base, fresh = build_base(first, first, 1)
+        enumerator = CanonicalSubsetEnumerator(base, fresh)
+        assert len(list(enumerator)) == 2 ** len(base)
+        assert enumerator.skipped == 0
+
+    def test_sizes_ascend(self):
+        first = parse_query("q(count()) :- p(y), not r(y)")
+        _, base, fresh = build_base(first, first, 2)
+        sizes = [len(indices) for indices in CanonicalSubsetEnumerator(base, fresh)]
+        assert sizes == sorted(sizes)
+
+
+# ----------------------------------------------------------------------
+# Differential: serial vs parallel bounded equivalence
+# ----------------------------------------------------------------------
+DIFFERENTIAL_PAIRS = [
+    ("q(count()) :- p(y), not r(y)", "q(count()) :- p(y)", 2, None),
+    ("q(max(y)) :- p(y)", "q(max(y)) :- p(y) ; p(y)", 2, None),
+    ("q(sum(y)) :- p(y)", "q(sum(y)) :- p(y) ; p(y)", 2, None),
+    ("q(count()) :- p(y), p(z), y < z", "q(count()) :- p(y), p(z), y != z", 2, None),
+    ("q(x) :- p(x, y)", "q(x) :- p(x, y), p(x, z)", 2, "set"),
+    ("q(x) :- p(x, y)", "q(x) :- p(x, y), p(x, z)", 2, "bag-set"),
+]
+
+
+def _witness_is_valid(first, second, counterexample, semantics):
+    database = counterexample.database
+    if database is None:
+        # Non-shiftable corner: only the symbolic context could be reported.
+        return counterexample.symbolic_atoms is not None
+    if first.is_aggregate:
+        return evaluate_aggregate(first, database) != evaluate_aggregate(second, database)
+    if semantics == "bag-set":
+        return evaluate_bag_set(first, database) != evaluate_bag_set(second, database)
+    return evaluate_set(first, database) != evaluate_set(second, database)
+
+
+class TestDifferentialBounded:
+    @pytest.mark.parametrize("first_text,second_text,bound,semantics", DIFFERENTIAL_PAIRS)
+    def test_serial_and_parallel_agree(self, first_text, second_text, bound, semantics):
+        first, second = parse_query(first_text), parse_query(second_text)
+        kwargs = {"semantics": semantics} if semantics else {}
+        serial = bounded_equivalence(first, second, bound, workers=1, **kwargs)
+        parallel = bounded_equivalence(
+            first, second, bound, workers=2, parallel_threshold=0, **kwargs
+        )
+        assert serial.equivalent == parallel.equivalent
+        assert parallel.workers_used == 2
+        if serial.equivalent:
+            # A complete sweep must examine the identical canonical space.
+            assert serial.subsets_examined == parallel.subsets_examined
+            assert serial.orderings_examined == parallel.orderings_examined
+            assert serial.identities_checked == parallel.identities_checked
+            assert (
+                serial.subsets_skipped_by_symmetry == parallel.subsets_skipped_by_symmetry
+            )
+        else:
+            assert parallel.counterexample is not None
+            assert _witness_is_valid(
+                first, second, parallel.counterexample, semantics or "set"
+            )
+            assert _witness_is_valid(
+                first, second, serial.counterexample, semantics or "set"
+            )
+
+    def test_generated_pairs_agree(self):
+        """Differential property test over generated query pairs."""
+        profile = QueryProfile(
+            predicates={"p": 1, "r": 1},
+            grouping_variables=1,
+            aggregation_function="count",
+            max_disjuncts=2,
+            max_positive_atoms=2,
+            max_negated_atoms=1,
+            max_comparisons=0,
+            constants=(),
+        )
+        generator = QueryGenerator(profile, seed=11)
+        checked = 0
+        while checked < 4:
+            first, second = generator.query_pair()
+            _, base, _ = build_base(first, second, 2)
+            if 2 ** len(base) > 4096:
+                continue
+            serial = bounded_equivalence(first, second, 2, workers=1)
+            parallel = bounded_equivalence(first, second, 2, workers=2, parallel_threshold=0)
+            assert serial.equivalent == parallel.equivalent, (first, second)
+            if not serial.equivalent:
+                assert _witness_is_valid(first, second, parallel.counterexample, "set")
+            checked += 1
+
+    def test_parallel_witnesses_are_valid_across_runs(self):
+        # The verdict is scheduling-independent; the particular witness may
+        # vary under early-exit cancellation races, but every witness must be
+        # valid (the fully reproducible path is workers=1).
+        first = parse_query("q(sum(y)) :- p(y)")
+        second = parse_query("q(sum(y)) :- p(y), not r(y)")
+        runs = [
+            bounded_equivalence(first, second, 2, workers=2, parallel_threshold=0)
+            for _ in range(2)
+        ]
+        for report in runs:
+            assert not report.equivalent
+            assert _witness_is_valid(first, second, report.counterexample, "set")
+
+
+# ----------------------------------------------------------------------
+# Differential: serial vs parallel equivalence matrix
+# ----------------------------------------------------------------------
+def _matrix_catalog():
+    warehouse = build_warehouse(stores=2, products=3, sales_per_store=4, seed=3)
+    catalog = {
+        name: warehouse.queries[name]
+        for name in ("revenue_per_store", "revenue_per_store_alt", "largest_sale")
+    }
+    catalog["unit_sales"] = parse_query("units(s, sum(u)) :- sales(s, p, a), u = 1")
+    catalog["sales_count"] = parse_query("units(s, count()) :- sales(s, p, a)")
+    catalog["plain"] = parse_query("q(s) :- sales(s, p, a)")
+    return catalog
+
+
+class TestDifferentialMatrix:
+    def test_serial_and_parallel_matrices_agree(self):
+        catalog = _matrix_catalog()
+        serial = equivalence_matrix(catalog, workers=1, seed=5, counterexample_trials=60)
+        parallel = equivalence_matrix(catalog, workers=2, seed=5, counterexample_trials=60)
+        assert set(serial) == set(parallel)
+        for pair, serial_result in serial.items():
+            parallel_result = parallel[pair]
+            assert serial_result.verdict is parallel_result.verdict, pair
+            # Seeded witness searches make even the witnesses identical.
+            if serial_result.counterexample is not None:
+                assert parallel_result.counterexample is not None
+                assert (
+                    serial_result.counterexample.database
+                    == parallel_result.counterexample.database
+                ), pair
+
+    def test_normalization_settles_pinned_sum_in_matrix(self):
+        catalog = _matrix_catalog()
+        results = equivalence_matrix(catalog, counterexample_trials=60)
+        result = results[("sales_count", "unit_sales")]
+        assert result.verdict is Verdict.EQUIVALENT
+        assert "normalization" in result.method
+        unnormalized = equivalence_matrix(
+            catalog, normalize=False, counterexample_trials=60
+        )
+        assert unnormalized[("sales_count", "unit_sales")].verdict is Verdict.UNKNOWN
+
+    def test_seeded_matrix_is_reproducible(self):
+        catalog = _matrix_catalog()
+        first = equivalence_matrix(catalog, seed=9, counterexample_trials=60)
+        second = equivalence_matrix(catalog, seed=9, counterexample_trials=60)
+        for pair in first:
+            assert first[pair].verdict is second[pair].verdict
+            left, right = first[pair].counterexample, second[pair].counterexample
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert left.database == right.database
+
+    def test_shared_base_matches_pair_local(self):
+        queries = {
+            "a": parse_query("q(x) :- p(x, y)"),
+            "b": parse_query("q(x) :- p(x, y), p(x, z)"),
+            "c": parse_query("q(x) :- p(x, x)"),
+        }
+        shared = equivalence_matrix(queries, shared_base=True)
+        local = equivalence_matrix(queries, shared_base=False)
+        for pair in shared:
+            assert shared[pair].verdict is local[pair].verdict, pair
+
+
+# ----------------------------------------------------------------------
+# Shared base context
+# ----------------------------------------------------------------------
+class TestSharedBaseContext:
+    def test_bound_dominates_every_pair(self):
+        catalog = _matrix_catalog()
+        context = SharedBaseContext.from_catalog(catalog.values())
+        queries = list(catalog.values())
+        for position, first in enumerate(queries):
+            for second in queries[position + 1 :]:
+                if first.is_aggregate == second.is_aggregate:
+                    assert context.bound >= term_size_of_pair(first, second)
+
+    def test_incomparable_catalog_has_no_context(self):
+        queries = [
+            parse_query("q(x, sum(y)) :- p(x, y)"),
+            parse_query("q(x) :- p(x, y)"),
+        ]
+        assert SharedBaseContext.from_catalog(queries) is None
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class TestExecutors:
+    def test_serial_executor_stops_early(self):
+        seen = []
+
+        def worker(task):
+            seen.append(task)
+            return task
+
+        outcomes = SerialExecutor().run(worker, [1, 2, 3, 4], stop=lambda value: value == 2)
+        assert outcomes == [1, 2]
+        assert seen == [1, 2]
+
+    def test_process_executor_returns_every_outcome(self):
+        executor = ProcessExecutor(workers=2)
+        outcomes = executor.run(_square, [1, 2, 3, 4, 5])
+        assert sorted(outcomes) == [1, 4, 9, 16, 25]
+
+    def test_resolve_executor_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        executor = resolve_executor(None)
+        assert isinstance(executor, ProcessExecutor) and executor.workers == 3
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    def test_bounded_tasks_round_robin_and_cover(self):
+        first = parse_query("q(count()) :- p(y), not r(y)")
+        second = parse_query("q(count()) :- p(y)")
+        from repro.domains import Domain
+
+        _, base, fresh = build_base(first, second, 2)
+        enumerator = CanonicalSubsetEnumerator(base, fresh)
+        subsets = list(enumerator)
+        tasks = bounded_check_tasks(
+            first, second, 2, Domain.RATIONALS, "set", (), subsets, shards=3
+        )
+        positions = sorted(
+            position for task in tasks for position, _ in task.chunk
+        )
+        assert positions == list(range(len(subsets)))
+        sizes = [len(task.chunk) for task in tasks]
+        assert max(sizes) - min(sizes) <= 1
+        # Shards are independently executable.
+        outcome = run_bounded_check_task(tasks[0])
+        assert outcome.stats.subsets_examined == len(tasks[0].chunk)
+
+
+# ----------------------------------------------------------------------
+# Seeds
+# ----------------------------------------------------------------------
+class TestSeeds:
+    def test_derive_pair_seed_is_stable(self):
+        assert derive_pair_seed(7, "a", "b") == derive_pair_seed(7, "a", "b")
+        assert derive_pair_seed(7, "a", "b") != derive_pair_seed(8, "a", "b")
+        assert derive_pair_seed(None, "a", "b") is None
+
+    def test_find_counterexample_seed_controls_search(self):
+        from repro.core import find_counterexample
+
+        first = parse_query("q(x, sum(y)) :- p(x, y), y > 0")
+        second = parse_query("q(x, sum(y)) :- p(x, y), y > 1")
+        one = find_counterexample(first, second, seed=13)
+        two = find_counterexample(first, second, seed=13)
+        assert one is not None and one == two
+
+
+# ----------------------------------------------------------------------
+# Normalization (unit level)
+# ----------------------------------------------------------------------
+class TestNormalization:
+    def test_pinned_sum_rewrites_to_count(self):
+        query = parse_query("q(s, sum(u)) :- p(s, a), u = 1")
+        rewritten, note = normalize_for_dispatch(query)
+        assert note is not None
+        assert rewritten.aggregate.function == "count"
+        assert rewritten.disjuncts == query.disjuncts
+
+    def test_pin_must_hold_in_every_disjunct(self):
+        query = parse_query("q(s, sum(u)) :- p(s, u), u = 1 ; p(s, u)")
+        rewritten, note = normalize_for_dispatch(query)
+        assert note is None and rewritten is query
+
+    def test_pin_to_other_constants_is_ignored(self):
+        query = parse_query("q(s, sum(u)) :- p(s, a), u = 2")
+        _, note = normalize_for_dispatch(query)
+        assert note is None
+
+    def test_non_sum_queries_untouched(self):
+        query = parse_query("q(s, max(u)) :- p(s, u), u = 1")
+        _, note = normalize_for_dispatch(query)
+        assert note is None
+
+    def test_reversed_equality_is_recognized(self):
+        query = parse_query("q(s, sum(u)) :- p(s, a), 1 = u")
+        _, note = normalize_for_dispatch(query)
+        assert note is not None
+
+    def test_one_sided_normalization_never_downgrades_same_function_pairs(self):
+        # Both queries are sum-queries and equivalent; only the first has a
+        # syntactic u = 1 pin.  Rewriting just one side would push the pair
+        # from the decidable sum/sum class into the different-function open
+        # fragment — the dispatcher must keep the originals instead.
+        from repro.core import are_equivalent
+
+        first = parse_query("q(s, sum(u)) :- r(s, u), u = 1")
+        second = parse_query("q(s, sum(u)) :- r(s, u), u = v, v = 1")
+        result = are_equivalent(first, second)
+        assert result.verdict is Verdict.EQUIVALENT
+        assert "normalization" not in result.method
+
+
+class TestGuards:
+    def test_search_space_guard_fires_before_ordering_enumeration(self):
+        # At bound 8 the ordering space (ordered set partitions of 8 terms)
+        # is in the millions; the subset-budget guard must raise from the
+        # arithmetic size check, not after enumerating orderings.
+        from repro.errors import ReproError
+
+        first = parse_query("q(count()) :- p(y, z)")
+        start = __import__("time").perf_counter()
+        with pytest.raises(ReproError):
+            bounded_equivalence(first, first, 8)
+        assert __import__("time").perf_counter() - start < 1.0
+
+    def test_explicit_executor_is_honored_for_tiny_spaces(self):
+        class RecordingExecutor:
+            workers = 1
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, worker, tasks, stop=None):
+                self.calls += 1
+                return SerialExecutor().run(worker, tasks, stop)
+
+        executor = RecordingExecutor()
+        first = parse_query("q(count()) :- p(y)")
+        report = bounded_equivalence(first, first, 1, executor=executor)
+        assert report.equivalent
+        assert executor.calls == 1
+
+
+def _square(value):
+    return value * value
