@@ -65,6 +65,7 @@ from .errors import (
     MalformedQueryError,
     QuerySyntaxError,
     ReproError,
+    SearchSpaceBudgetError,
     UndecidableError,
     UnsafeQueryError,
     UnsupportedAggregateError,
@@ -93,6 +94,7 @@ __all__ = [
     "QuerySyntaxError",
     "RelationalAtom",
     "ReproError",
+    "SearchSpaceBudgetError",
     "UndecidableError",
     "UnsafeQueryError",
     "UnsupportedAggregateError",

@@ -47,12 +47,22 @@ from ..aggregates.functions import AggregationFunction, get_function
 from ..aggregates.properties import random_realization
 from ..datalog.atoms import RelationalAtom
 from ..datalog.database import Database
-from ..datalog.queries import Query, combined_predicate_arities, term_size_of_pair
+from ..datalog.queries import (
+    Query,
+    catalog_predicate_arities,
+    term_size_of_pair,
+)
 from ..datalog.terms import Constant, Term, Variable
 from ..domains import Domain
 from ..engine.evaluator import evaluate_aggregate, evaluate_bag_set, evaluate_set
-from ..engine.symbolic import SymbolicDatabase, symbolic_answer_multiset, symbolic_groups
-from ..errors import ReproError, UnsupportedAggregateError
+from ..engine.symbolic import (
+    SymbolicDatabase,
+    compare_symbolic_answers,
+    symbolic_answer_multiset,
+    symbolic_group_index,
+    symbolic_groups,
+)
+from ..errors import ReproError, SearchSpaceBudgetError, UnsupportedAggregateError
 from ..orderings.complete_orderings import CompleteOrdering, enumerate_complete_orderings
 
 #: Semantics under which non-aggregate queries are compared.
@@ -147,22 +157,23 @@ class SharedBaseContext:
         return cls(tuple(sorted(constants, key=str)), bound)
 
 
-def build_base(
-    first: Query,
-    second: Query,
+def build_catalog_base(
+    queries: Sequence[Query],
     fresh_variable_count: int,
     extra_constants: Iterable[Constant] = (),
 ) -> tuple[list[Term], list[RelationalAtom], list[Variable]]:
-    """The term set ``T`` and atom universe ``BASE`` of Theorem 4.8.
+    """The term set ``T`` and atom universe ``BASE`` of Theorem 4.8, built
+    over the predicates and constants of a whole catalog of queries.
 
-    ``extra_constants`` widens ``T`` beyond the pair's own constants (used by
-    :class:`SharedBaseContext` to align the BASE across a whole catalog).
+    ``extra_constants`` widens ``T`` beyond the queries' own constants (used
+    by :class:`SharedBaseContext` to align the BASE across a whole catalog).
     """
-    constants = sorted(
-        first.constants() | second.constants() | set(extra_constants),
-        key=lambda c: (str(c)),
-    )
-    taken_names = {variable.name for variable in first.variables() | second.variables()}
+    all_constants: set[Constant] = set(extra_constants)
+    taken_names: set[str] = set()
+    for query in queries:
+        all_constants |= query.constants()
+        taken_names |= {variable.name for variable in query.variables()}
+    constants = sorted(all_constants, key=lambda c: (str(c)))
     fresh: list[Variable] = []
     index = 0
     while len(fresh) < fresh_variable_count:
@@ -172,13 +183,24 @@ def build_base(
             continue
         fresh.append(candidate)
     terms: list[Term] = list(constants) + list(fresh)
-    arities = combined_predicate_arities(first, second)
+    arities = catalog_predicate_arities(queries)
     base: list[RelationalAtom] = []
     for predicate in sorted(arities):
         arity = arities[predicate]
         for arguments in itertools.product(terms, repeat=arity):
             base.append(RelationalAtom(predicate, arguments))
     return terms, base, fresh
+
+
+def build_base(
+    first: Query,
+    second: Query,
+    fresh_variable_count: int,
+    extra_constants: Iterable[Constant] = (),
+) -> tuple[list[Term], list[RelationalAtom], list[Variable]]:
+    """The term set ``T`` and atom universe ``BASE`` of Theorem 4.8 for one
+    pair of queries (the two-query case of :func:`build_catalog_base`)."""
+    return build_catalog_base((first, second), fresh_variable_count, extra_constants)
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +444,11 @@ class CheckStats:
         report.orderings_examined += self.orderings_examined
         report.identities_checked += self.identities_checked
 
+    def merge(self, other: "CheckStats") -> None:
+        self.subsets_examined += other.subsets_examined
+        self.orderings_examined += other.orderings_examined
+        self.identities_checked += other.identities_checked
+
 
 def check_subset(
     setup: BoundedRunSetup,
@@ -478,6 +505,324 @@ def check_subset(
 
 
 # ----------------------------------------------------------------------
+# Single-sweep catalog checks
+# ----------------------------------------------------------------------
+#: Subsets processed by the parent before forking a sweep pool: they settle
+#: quick counterexamples without paying for the pool, and they pre-warm the
+#: shared Γ / comparison caches (fork inherits them copy-on-write), so the
+#: workers stop re-deriving the heavily shared merged-partition signatures.
+DEFAULT_SWEEP_WARM_PREFIX = 64
+
+
+@dataclass
+class SweepRunSetup:
+    """Everything a sweep-level (subset, ordering) check needs, derivable
+    deterministically from (queries, bound, domain, semantics,
+    extra_constants) — workers rebuild it locally instead of shipping it
+    through pickles."""
+
+    queries: dict[str, Query]
+    function: Optional[AggregationFunction]
+    semantics: str
+    terms: list[Term]
+    base: list[RelationalAtom]  # canonical (str-sorted) order
+    fresh: list[Variable]
+    orderings: list[CompleteOrdering]
+    ordering_classes: tuple[OrderingClass, ...]
+    comparison_free: bool
+
+
+def _catalog_is_comparison_free(queries: Iterable[Query]) -> bool:
+    return not any(
+        disjunct.comparisons for query in queries for disjunct in query.disjuncts
+    )
+
+
+def prepare_sweep_run(
+    queries: "dict[str, Query] | Sequence[tuple[str, Query]]",
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: Iterable[Constant] = (),
+) -> SweepRunSetup:
+    """Validate the catalog and build the shared run state (terms, BASE in
+    canonical order, satisfiable orderings grouped into classes) for a
+    single-sweep check of every assigned pair."""
+    catalog = dict(queries)
+    members = list(catalog.values())
+    function = _resolve_catalog_function(members, domain)
+    terms, base, fresh = build_catalog_base(members, bound, extra_constants)
+    orderings = [
+        ordering
+        for ordering in enumerate_complete_orderings(terms, domain)
+        if ordering.is_satisfiable()
+    ]
+    comparison_free = _catalog_is_comparison_free(members)
+    return SweepRunSetup(
+        queries=catalog,
+        function=function,
+        semantics=semantics,
+        terms=terms,
+        base=canonical_base_order(base),
+        fresh=fresh,
+        orderings=orderings,
+        ordering_classes=_group_orderings(orderings, comparison_free),
+        comparison_free=comparison_free,
+    )
+
+
+def check_subset_sweep(
+    setup: SweepRunSetup,
+    subset: frozenset[RelationalAtom],
+    pairs: Sequence[tuple[str, str]],
+    stats,
+    pair_seeds: "dict[tuple[str, str], int] | None" = None,
+) -> list[tuple[tuple[str, str], int, Counterexample]]:
+    """Check every still-open catalog pair against one subset of BASE.
+
+    The sub-catalog is evaluated *once* per ordering class
+    (:func:`repro.engine.symbolic.symbolic_groups` keyed by restricted
+    relation signatures) and the pairs are compared in-loop through the
+    group-comparison kernels — the Γ work is O(catalog) instead of O(pairs).
+    Returns ``(pair, ordering_position, counterexample)`` settlements for the
+    pairs that fail on this subset; pairs absent from the result remain open.
+
+    Statistics count the *shared* work actually performed (one evaluation per
+    (subset, ordering) regardless of how many pairs consume it), so sweep
+    reports are not comparable count-for-count with per-pair reports.
+    """
+    function, semantics = setup.function, setup.semantics
+    seeds = pair_seeds or {}
+    settled: list[tuple[tuple[str, str], int, Counterexample]] = []
+    open_pairs = list(pairs)
+    for representative, members in setup.ordering_classes:
+        if not open_pairs:
+            break
+        stats.orderings_examined += len(members)
+        database = SymbolicDatabase(subset, representative)
+        indexes: dict[str, dict] = {}
+        if function is not None:
+            # One group index per *query* per ordering class — the in-loop
+            # pair comparisons below reuse them, so the Γ-derived work stays
+            # O(catalog) even when the group carries comparisons and the
+            # signature-keyed caches (and their interning, which turns the
+            # agreement check into an identity check) cannot apply.
+            for name in {name for pair in open_pairs for name in pair}:
+                indexes[name] = symbolic_group_index(setup.queries[name], database)
+        still_open: list[tuple[str, str]] = []
+        for pair in open_pairs:
+            first, second = setup.queries[pair[0]], setup.queries[pair[1]]
+            if function is None:
+                if compare_symbolic_answers(first, second, database, semantics):
+                    still_open.append(pair)
+                    continue
+                counterexample = _compare_non_aggregate(first, second, database, semantics)
+                assert counterexample is not None
+                settled.append((pair, members[0][0], counterexample))
+                continue
+            left_index, right_index = indexes[pair[0]], indexes[pair[1]]
+            if left_index is right_index or left_index == right_index:
+                # Identical bags in every group: α(B) = α(B) holds under any
+                # ordering of the class, no identity checks needed.
+                still_open.append(pair)
+                continue
+            if left_index.keys() != right_index.keys():
+                concrete = database.instantiate()
+                settled.append(
+                    (
+                        pair,
+                        members[0][0],
+                        Counterexample(
+                            database=concrete,
+                            left_result=evaluate_aggregate(first, concrete, function),
+                            right_result=evaluate_aggregate(second, concrete, function),
+                            ordering=database.ordering,
+                            symbolic_atoms=database.atoms,
+                        ),
+                    )
+                )
+                continue
+            left_groups = symbolic_groups(first, database)
+            right_groups = symbolic_groups(second, database)
+            residual = [
+                (tuple(left_groups[group_key]), tuple(right_groups[group_key]))
+                for group_key in left_groups
+                if left_index[group_key] != right_index[group_key]
+            ]
+            hit: Optional[tuple[int, Counterexample]] = None
+            for position, ordering in members:
+                for left_bag, right_bag in residual:
+                    stats.identities_checked += 1
+                    if not function.decide_ordered_identity(
+                        ordering, list(left_bag), list(right_bag)
+                    ):
+                        witness_database = SymbolicDatabase(subset, ordering)
+                        hit = (
+                            position,
+                            _witness_for_identity_failure(
+                                first,
+                                second,
+                                witness_database,
+                                function,
+                                seed=seeds.get(pair, 0),
+                            ),
+                        )
+                        break
+                if hit is not None:
+                    break
+            if hit is not None:
+                settled.append((pair, hit[0], hit[1]))
+            else:
+                still_open.append(pair)
+        open_pairs = still_open
+    return settled
+
+
+def sweep_equivalence(
+    queries: "dict[str, Query] | Sequence[tuple[str, Query]]",
+    pairs: Sequence[tuple[str, str]],
+    bound: int,
+    domain: Domain = Domain.RATIONALS,
+    semantics: str = SET_SEMANTICS,
+    max_subsets: int = 2_000_000,
+    *,
+    workers: Optional[int] = None,
+    executor=None,
+    seed: Optional[int] = None,
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    warm_prefix: int = DEFAULT_SWEEP_WARM_PREFIX,
+    extra_constants: Iterable[Constant] = (),
+) -> dict[tuple[str, str], EquivalenceReport]:
+    """Decide ``first ≡_N second`` for every assigned pair of a sub-catalog
+    with **one** subset/ordering enumeration (the single-sweep variant of
+    :func:`bounded_equivalence`).
+
+    All queries must share one shape (and, for aggregates, one
+    order-decidable function); ``bound`` must dominate τ(q, q') for every
+    assigned pair, so the per-pair verdict coincides with the pair-local
+    bounded check (N-equivalence for N ≥ τ is equivalence, Section 4).  Each
+    pair settles at its first failing (subset, ordering) — the same position
+    the pair-local enumeration would find when the BASEs coincide — and the
+    sweep stops as soon as every pair is settled.
+
+    ``seed`` is the catalog-level seed; per-pair witness searches use the
+    same derived seeds as the pairwise matrix, so witnesses agree with the
+    pair path wherever the enumerations align.  ``workers > 1`` shards the
+    subset stream across processes after a serial *warm prefix* that
+    pre-warms the shared caches the forked workers inherit.
+    """
+    catalog = dict(queries)
+    pair_list = [tuple(pair) for pair in pairs]
+    for name_a, name_b in pair_list:
+        if name_a not in catalog or name_b not in catalog:
+            raise ReproError(f"sweep pair ({name_a!r}, {name_b!r}) names an unknown query")
+    members = list(catalog.values())
+    _resolve_catalog_function(members, domain)
+    base_size = _catalog_base_size(members, bound, extra_constants)
+    subset_count = 2**base_size
+    if subset_count > max_subsets:
+        raise SearchSpaceBudgetError(
+            f"the catalog-sweep search space has {subset_count} subsets of BASE "
+            f"(|BASE| = {base_size}), exceeding max_subsets={max_subsets}; "
+            "reduce the bound, shrink the sweep group, or raise max_subsets"
+        )
+    extra_constants = tuple(extra_constants)
+    setup = prepare_sweep_run(catalog, bound, domain, semantics, extra_constants)
+
+    from ..parallel.tasks import derive_pair_seed
+
+    pair_seeds = {
+        pair: derive_pair_seed(seed, pair[0], pair[1]) or 0 for pair in pair_list
+    }
+    reports = {
+        pair: EquivalenceReport(equivalent=True, bound=bound, domain=domain)
+        for pair in pair_list
+    }
+
+    def settle(pair, counterexample) -> None:
+        report = reports[pair]
+        report.equivalent = False
+        report.counterexample = counterexample
+
+    if not setup.orderings:
+        # Degenerate corner: no terms at all (no constants and N = 0).  The
+        # only database to compare over is the empty one.
+        empty = Database(())
+        for pair in pair_list:
+            counterexample = _compare_concrete(
+                catalog[pair[0]], catalog[pair[1]], empty, setup.function, semantics
+            )
+            if counterexample is not None:
+                settle(pair, counterexample)
+        return reports
+
+    stats = CheckStats()
+    enumerator = CanonicalSubsetEnumerator(setup.base, setup.fresh)
+    open_pairs: list[tuple[str, str]] = list(pair_list)
+
+    if workers is None:
+        from ..parallel.executor import default_workers, in_worker
+
+        workers = 1 if in_worker() else default_workers()
+
+    def check_serial(subsets: Iterable[tuple[int, ...]]) -> None:
+        for indices in subsets:
+            if not open_pairs:
+                break
+            stats.subsets_examined += 1
+            hits = check_subset_sweep(
+                setup, frozenset(base[i] for i in indices), open_pairs, stats, pair_seeds
+            )
+            for pair, _ordering_position, counterexample in hits:
+                settle(pair, counterexample)
+                open_pairs.remove(pair)
+
+    base = setup.base
+    if workers > 1 or executor is not None:
+        subset_list = list(enumerator)
+        if executor is not None or len(subset_list) >= parallel_threshold:
+            # Warm prefix: the parent settles the small subsets itself (their
+            # merged-partition signatures are the most shared entries of the
+            # Γ and comparison caches) before forking, so every worker
+            # inherits a warm cache copy-on-write instead of re-deriving it.
+            prefix = subset_list[: max(0, warm_prefix)] if executor is None else []
+            check_serial(prefix)
+            remaining = subset_list[len(prefix) :]
+            if open_pairs and remaining:
+                from ..parallel.tasks import parallel_sweep_search
+
+                parallel_sweep_search(
+                    queries=tuple(catalog.items()),
+                    pairs=tuple(open_pairs),
+                    bound=bound,
+                    domain=domain,
+                    semantics=semantics,
+                    extra_constants=extra_constants,
+                    subsets=[
+                        (len(prefix) + offset, indices)
+                        for offset, indices in enumerate(remaining)
+                    ],
+                    reports=reports,
+                    stats=stats,
+                    workers=workers,
+                    executor=executor,
+                    seed=seed,
+                )
+        else:
+            check_serial(subset_list)
+    else:
+        check_serial(enumerator)
+
+    for report in reports.values():
+        stats.merge_into(report)
+        report.subsets_skipped_by_symmetry = enumerator.skipped
+        report.notes.append(
+            f"single-sweep over {len(catalog)} queries / {len(pair_list)} pairs"
+        )
+    return reports
+
+
+# ----------------------------------------------------------------------
 # The decision procedure
 # ----------------------------------------------------------------------
 def bounded_equivalence(
@@ -525,7 +870,7 @@ def bounded_equivalence(
     base_size = _base_size(first, second, bound, extra_constants)
     subset_count = 2**base_size
     if subset_count > max_subsets:
-        raise ReproError(
+        raise SearchSpaceBudgetError(
             f"the bounded-equivalence search space has {subset_count} subsets of BASE "
             f"(|BASE| = {base_size}), exceeding max_subsets={max_subsets}; "
             "reduce the bound or raise max_subsets explicitly"
@@ -645,11 +990,18 @@ def local_equivalence(
     With a :class:`SharedBaseContext` the catalog-wide bound and constants are
     used instead (still sound, since the shared bound dominates τ), unless the
     widened BASE would blow the ``max_subsets`` budget, in which case the
-    pair-local BASE is used.
+    pair-local BASE is used.  Pairs carrying comparisons always use the
+    pair-local BASE: the widening exists to share Γ(q, S_L) across the
+    catalog, and the shared caches only apply to comparison-free queries — for
+    anything else a larger BASE is pure cost.
     """
     bound = term_size_of_pair(first, second)
     extra_constants: tuple[Constant, ...] = ()
-    if context is not None and context.bound >= bound:
+    if (
+        context is not None
+        and context.bound >= bound
+        and _pair_is_comparison_free(first, second)
+    ):
         shared_base_size = _base_size(first, second, context.bound, context.constants)
         if 2**shared_base_size <= max_subsets:
             bound = context.bound
@@ -669,39 +1021,60 @@ def local_equivalence(
     )
 
 
-def _base_size(
-    first: Query, second: Query, bound: int, extra_constants: Iterable[Constant]
+def _catalog_base_size(
+    queries: Sequence[Query], bound: int, extra_constants: Iterable[Constant]
 ) -> int:
-    """|BASE| for the pair at the given bound, computed arithmetically (no
+    """|BASE| for the catalog at the given bound, computed arithmetically (no
     atom construction) — used to budget-check a shared context cheaply."""
-    constants = first.constants() | second.constants() | set(extra_constants)
+    constants: set[Constant] = set(extra_constants)
+    for query in queries:
+        constants |= query.constants()
     term_count = len(constants) + bound
-    arities = combined_predicate_arities(first, second)
+    arities = catalog_predicate_arities(queries)
     return sum(term_count**arity for arity in arities.values())
 
 
-def _resolve_function(
-    first: Query, second: Query, domain: Domain
+def _base_size(
+    first: Query, second: Query, bound: int, extra_constants: Iterable[Constant]
+) -> int:
+    """|BASE| for the pair at the given bound (two-query case of
+    :func:`_catalog_base_size`)."""
+    return _catalog_base_size((first, second), bound, extra_constants)
+
+
+def _resolve_catalog_function(
+    queries: Sequence[Query], domain: Domain
 ) -> Optional[AggregationFunction]:
-    if first.is_aggregate != second.is_aggregate:
+    """Validate that the queries are mutually comparable (all aggregate with
+    one shared, order-decidable function, or all non-aggregate) and return
+    the shared function (``None`` for non-aggregate catalogs)."""
+    if not queries:
+        raise ReproError("cannot compare an empty catalog of queries")
+    if len({query.is_aggregate for query in queries}) != 1:
         raise UnsupportedAggregateError(
             "cannot compare an aggregate query with a non-aggregate query"
         )
-    if not first.is_aggregate:
+    if not queries[0].is_aggregate:
         return None
-    assert first.aggregate is not None and second.aggregate is not None
-    if first.aggregate.function != second.aggregate.function:
+    names = {query.aggregate.function for query in queries}
+    if len(names) != 1:
         raise UnsupportedAggregateError(
             f"the queries use different aggregation functions: "
-            f"{first.aggregate.function} vs {second.aggregate.function}"
+            f"{' vs '.join(sorted(names))}"
         )
-    function = get_function(first.aggregate.function)
+    function = get_function(queries[0].aggregate.function)
     if not function.is_order_decidable_over(domain):
         raise UnsupportedAggregateError(
             f"{function.name} is not order-decidable over {domain.value}; "
             "bounded equivalence is undecidable for this class (Theorem 4.8)"
         )
     return function
+
+
+def _resolve_function(
+    first: Query, second: Query, domain: Domain
+) -> Optional[AggregationFunction]:
+    return _resolve_catalog_function((first, second), domain)
 
 
 def _compare_over(

@@ -21,10 +21,16 @@ decidable classes (differing names do not imply differing semantics — a ``sum`
 of values pinned to 1 is a ``count``), so they get the same treatment as the
 open fragment: ``NOT_EQUIVALENT`` with a concrete witness when the search finds
 one, ``UNKNOWN`` otherwise.  Before dispatching, a sound semantic
-normalization rewrites exactly that common case — ``sum`` over an aggregation
-variable pinned to the constant 1 becomes ``count`` (the two produce identical
-results on *every* database) — so such pairs land in the decidable
-same-function classes instead of the open fragment.
+normalization rewrites exactly that common case: when both queries reduce to
+*count forms* with one shared nonzero multiplier ``c`` — a ``count()`` query
+trivially (``c = 1``), a ``sum`` query whose aggregation variable every
+disjunct pins to ``c``, directly (``y = c``) or through an equality chain
+(``y = z, z = c``) — both sides are rewritten to their count forms (each
+original returns ``c ·`` its count form on every database, so the verdict and
+any witness transfer both ways).  Such pairs land in the decidable
+same-function classes instead of the open fragment.  Pins to 0 and pairs with
+differing multipliers are excluded: no single verdict-preserving reduction
+exists there (see :func:`aggregation_pin` / :func:`pair_count_reduction`).
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ from ..datalog.database import Database
 from ..datalog.queries import AggregateTerm, Query, term_size_of_pair
 from ..datalog.terms import Constant
 from ..domains import Domain
-from ..errors import UndecidableError, UnsupportedAggregateError
+from ..errors import SearchSpaceBudgetError, UndecidableError, UnsupportedAggregateError
 from .bounded import (
     Counterexample,
     EquivalenceReport,
@@ -82,31 +88,153 @@ class EquivalenceResult:
         return f"{self.verdict.value} (method: {self.method}) {self.details}".strip()
 
 
+def _equality_closure(disjunct, term) -> set:
+    """The equality class of ``term`` under the disjunct's ``=`` comparisons:
+    every term reachable through a chain like ``y = z, z = 1`` (constants are
+    traversed too, so ``y = 1, 1 = w, w = c`` connects ``y`` with ``c``)."""
+    adjacency: dict[object, set] = {}
+    for comparison in disjunct.comparisons:
+        if comparison.op is ComparisonOp.EQ:
+            adjacency.setdefault(comparison.left, set()).add(comparison.right)
+            adjacency.setdefault(comparison.right, set()).add(comparison.left)
+    seen = {term}
+    frontier = [term]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in adjacency.get(current, ()):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def aggregation_pin(query: Query) -> Optional[Constant]:
+    """The constant every disjunct pins the sum's aggregation variable to,
+    propagated through equality chains (``y = 1`` but also ``y = z, z = 1``
+    and longer chains).
+
+    Returns ``None`` unless the query is a unary ``sum`` and every disjunct's
+    equality closure of the aggregation variable contains exactly one
+    constant, the same in all disjuncts, and that constant is nonzero.  Two
+    distinct constants in one closure make the disjunct unsatisfiable; the
+    rewriting stays out of that corner (a dead disjunct is better surfaced by
+    the decision procedures than silently normalized).  A pin to 0 is also
+    excluded: a sum pinned to 0 returns 0 for every group, so its equivalence
+    with another query degenerates to agreement of the group-key sets —
+    count-equivalence is strictly stronger and a NOT_EQUIVALENT verdict on
+    the count forms would not transfer back.
+    """
+    aggregate = query.aggregate
+    if aggregate is None or aggregate.function != "sum" or len(aggregate.arguments) != 1:
+        return None
+    variable = aggregate.arguments[0]
+    pin: Optional[Constant] = None
+    for disjunct in query.disjuncts:
+        constants = {
+            term for term in _equality_closure(disjunct, variable) if isinstance(term, Constant)
+        }
+        if len(constants) != 1:
+            return None
+        (constant,) = constants
+        if constant.value == 0:
+            return None
+        if pin is None:
+            pin = constant
+        elif pin != constant:
+            # Disjuncts pinning to different constants: sum ≡ c·count needs
+            # per-disjunct agreement on c, otherwise no single multiplier
+            # relates the two aggregates.
+            return None
+    return pin
+
+
+def sum_count_reduction(query: Query) -> Optional[tuple[Query, Constant, Optional[str]]]:
+    """The count form of a query, when it has one: ``(count_query, c, note)``
+    such that the query returns ``c · count_query`` on every database.
+
+    A ``count()`` query is its own count form with multiplier 1 (and no
+    note); a ``sum`` query whose aggregation variable is pinned to a nonzero
+    constant ``c`` in every disjunct (see :func:`aggregation_pin`) reduces to
+    the same body with ``count()`` in the head and multiplier ``c``.  Other
+    queries have no count form.
+    """
+    aggregate = query.aggregate
+    if aggregate is None:
+        return None
+    if aggregate.function == "count":
+        return query, Constant(1), None
+    pin = aggregation_pin(query)
+    if pin is None:
+        return None
+    variable = query.aggregate.arguments[0]
+    rewritten = query.with_aggregate(AggregateTerm("count", ()))
+    if pin.value == 1:
+        note = f"sum({variable}) with {variable} = 1 rewritten to count()"
+    else:
+        note = (
+            f"sum({variable}) with {variable} = {pin} rewritten to {pin}·count()"
+        )
+    return rewritten, pin, note
+
+
 def normalize_for_dispatch(query: Query) -> tuple[Query, Optional[str]]:
     """Semantic normalization applied before dispatch (sound rewriting).
 
     ``sum`` over an aggregation variable that every disjunct pins to the
-    constant 1 (via an explicit ``y = 1`` comparison) is rewritten to
-    ``count()``: each satisfying assignment contributes exactly 1 to the sum,
-    so the two queries return identical results on every database.  Returns
-    the (possibly rewritten) query and a human-readable note when the rule
-    fired.
+    constant 1 — directly (``y = 1``) or through an equality chain
+    (``y = z, z = 1``) — is rewritten to ``count()``: each satisfying
+    assignment contributes exactly 1 to the sum, so the two queries return
+    identical results on every database.  Returns the (possibly rewritten)
+    query and a human-readable note when the rule fired.
+
+    Pins to constants other than 1 are *not* rewritten here: the standalone
+    rewrite is only result-preserving for ``c = 1``.  The general
+    ``sum ≡ c·count`` relation is applied pair-wise by
+    :func:`are_equivalent` (both sides must share the multiplier ``c``).
     """
-    aggregate = query.aggregate
-    if aggregate is None or aggregate.function != "sum" or len(aggregate.arguments) != 1:
+    reduction = sum_count_reduction(query)
+    if reduction is None:
         return query, None
-    variable = aggregate.arguments[0]
-    one = Constant(1)
-    for disjunct in query.disjuncts:
-        pinned = any(
-            comparison.op is ComparisonOp.EQ
-            and {comparison.left, comparison.right} == {variable, one}
-            for comparison in disjunct.comparisons
-        )
-        if not pinned:
-            return query, None
-    rewritten = query.with_aggregate(AggregateTerm("count", ()))
-    return rewritten, f"sum({variable}) with {variable} = 1 rewritten to count()"
+    rewritten, multiplier, note = reduction
+    if note is None or multiplier.value != 1:
+        return query, None
+    return rewritten, note
+
+
+def normalization_method_suffix(multiplier: Constant) -> str:
+    """The method annotation for a verdict transferred from the count forms."""
+    if multiplier.value == 1:
+        return " (after sum→count normalization)"
+    return f" (after sum→{multiplier}·count normalization)"
+
+
+def pair_count_reduction(
+    first: Query, second: Query
+) -> Optional[tuple[Query, Query, Constant, str]]:
+    """The shared count form of a pair, when comparing count forms settles
+    the original pair.
+
+    Both queries must have a count form (:func:`sum_count_reduction`) with
+    the *same* multiplier ``c``, and at least one side must actually be
+    rewritten (a count/count pair has nothing to normalize).  Then
+    ``q_i ≡ c · count_i`` with ``c ≠ 0``, so ``q_1 ≡ q_2`` iff
+    ``count_1 ≡ count_2`` — the verdict (and any witness database) transfers
+    in both directions.  Mixed multipliers (e.g. a sum pinned to 2 against a
+    plain count) are left alone: ``2·count_1 ≡ count_2`` is not equivalent to
+    ``count_1 ≡ count_2``, so no verdict would transfer.
+    """
+    first_reduction = sum_count_reduction(first)
+    second_reduction = sum_count_reduction(second)
+    if first_reduction is None or second_reduction is None:
+        return None
+    first_count, first_multiplier, first_note = first_reduction
+    second_count, second_multiplier, second_note = second_reduction
+    if first_multiplier != second_multiplier:
+        return None
+    if first_note is None and second_note is None:
+        return None
+    notes = "; ".join(note for note in (first_note, second_note) if note)
+    return first_count, second_count, first_multiplier, notes
 
 
 def _decidable_by_local_equivalence(function: AggregationFunction, domain: Domain) -> bool:
@@ -147,36 +275,61 @@ def are_equivalent(
             "cannot compare an aggregate query with a non-aggregate query"
         )
     if normalize:
-        normalized_first, first_note = normalize_for_dispatch(first)
-        normalized_second, second_note = normalize_for_dispatch(second)
-        # Rewrite only when the normalized pair shares one aggregation
-        # function: that is the case the rewriting *helps* (it moves a
-        # different-function pair into the decidable same-function classes).
-        # Normalizing one side of a same-function sum/sum pair would do the
-        # opposite — push a decidable pair into the open fragment.
-        functions_align = (
-            normalized_first.aggregate_function == normalized_second.aggregate_function
-        )
-        if (first_note or second_note) and functions_align:
-            result = are_equivalent(
-                normalized_first,
-                normalized_second,
-                domain=domain,
-                prefer_quasilinear=prefer_quasilinear,
-                max_subsets=max_subsets,
-                counterexample_trials=counterexample_trials,
-                unknown_bound=unknown_bound,
-                normalize=False,
-                seed=seed,
-                context=context,
-                workers=workers,
-            )
-            # The rewriting is result-preserving on every database, so the
-            # verdict (and any witness) transfers verbatim to the originals.
-            result.method += " (after sum→count normalization)"
-            notes = "; ".join(note for note in (first_note, second_note) if note)
-            result.details = f"{result.details}; {notes}" if result.details else notes
-            return result
+        # Rewrite only when both sides reduce to count forms with one shared
+        # multiplier: that is the case the rewriting *helps* (it moves the
+        # pair into the decidable count/count class, and the verdict
+        # transfers both ways).  Normalizing one side of a same-function
+        # sum/sum pair would do the opposite — push a decidable pair into
+        # the open fragment.
+        reduction = pair_count_reduction(first, second)
+        if reduction is not None:
+            normalized_first, normalized_second, multiplier, notes = reduction
+            try:
+                result = are_equivalent(
+                    normalized_first,
+                    normalized_second,
+                    domain=domain,
+                    prefer_quasilinear=prefer_quasilinear,
+                    max_subsets=max_subsets,
+                    counterexample_trials=counterexample_trials,
+                    unknown_bound=unknown_bound,
+                    normalize=False,
+                    seed=seed,
+                    context=context,
+                    workers=workers,
+                )
+            except SearchSpaceBudgetError:
+                # The count forms reached a bounded search whose subset space
+                # exceeds max_subsets.  The normalization is opportunistic —
+                # fall back to dispatching the originals (for a sum/count
+                # pair that is the counterexample-search/UNKNOWN path, which
+                # is where such pairs landed before the rewriting existed).
+                result = None
+            if result is not None:
+                # q_i ≡ c·count_i with c ≠ 0, so the verdict (and any witness
+                # database) transfers verbatim to the originals.  The recorded
+                # results are re-evaluated through the original queries — for
+                # c ≠ 1 the count forms return different *values* on the same
+                # witness.
+                result.method += normalization_method_suffix(multiplier)
+                result.details = (
+                    f"{result.details}; {notes}" if result.details else notes
+                )
+                if (
+                    result.counterexample is not None
+                    and result.counterexample.database is not None
+                ):
+                    from ..engine.evaluator import evaluate
+
+                    witness_database = result.counterexample.database
+                    result.counterexample = Counterexample(
+                        database=witness_database,
+                        left_result=evaluate(first, witness_database),
+                        right_result=evaluate(second, witness_database),
+                        ordering=result.counterexample.ordering,
+                        symbolic_atoms=result.counterexample.symbolic_atoms,
+                    )
+                return result
     search_seed = 0 if seed is None else seed
 
     if not first.is_aggregate:

@@ -13,6 +13,7 @@ from .parser import parse_database, parse_query
 from .queries import (
     AggregateTerm,
     Query,
+    catalog_predicate_arities,
     combined_predicate_arities,
     conjunctive_query,
     term_size_of_pair,
@@ -35,6 +36,7 @@ __all__ = [
     "Term",
     "Variable",
     "aggregate_query",
+    "catalog_predicate_arities",
     "combined_predicate_arities",
     "conjunctive_query",
     "make_condition",

@@ -110,6 +110,23 @@ class RelationalAtom:
             raise QuerySyntaxError("predicate names must be non-empty")
         object.__setattr__(self, "arguments", tuple(self.arguments))
 
+    def __hash__(self) -> int:
+        # Atoms populate the frozensets and dict keys of every symbolic
+        # database; cache the structural hash instead of re-deriving it.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.predicate, self.arguments, self.negated))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The cached structural hash must not cross process boundaries:
+        # string hashing is salted per interpreter, so a pickled hash would
+        # be wrong in a spawn-started worker.  Recompute lazily on first use.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     @property
     def arity(self) -> int:
         return len(self.arguments)

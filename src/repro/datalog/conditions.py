@@ -32,6 +32,23 @@ class Condition:
     def __post_init__(self) -> None:
         object.__setattr__(self, "literals", tuple(self.literals))
 
+    def __hash__(self) -> int:
+        # Conditions key the per-(condition, size-signature) plan cache on
+        # every symbolic evaluation; cache the structural hash.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash(self.literals)
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The cached structural hash must not cross process boundaries:
+        # string hashing is salted per interpreter, so a pickled hash would
+        # be wrong in a spawn-started worker.  Recompute lazily on first use.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     # ------------------------------------------------------------------
     # Syntactic components
     # ------------------------------------------------------------------

@@ -85,6 +85,24 @@ class Query:
         object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
         self._validate()
 
+    def __hash__(self) -> int:
+        # Queries key every hot cache of the symbolic engine (Γ memoization,
+        # group-comparison kernels); the generated dataclass hash re-walks
+        # the whole AST per lookup, so it is computed once and cached.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.name, self.head_terms, self.disjuncts, self.aggregate))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The cached structural hash must not cross process boundaries:
+        # string hashing is salted per interpreter, so a pickled hash would
+        # be wrong in a spawn-started worker.  Recompute lazily on first use.
+        state = dict(self.__dict__)
+        state.pop("_cached_hash", None)
+        return state
+
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
@@ -284,19 +302,26 @@ def term_size_of_pair(first: Query, second: Query) -> int:
     return len(constants) + max(first.variable_size, second.variable_size)
 
 
+def catalog_predicate_arities(queries: Iterable[Query]) -> dict[str, int]:
+    """The predicates (with arities) occurring in any of the queries, checking
+    that shared predicates are used with consistent arities."""
+    arities: dict[str, int] = {}
+    for query in queries:
+        for predicate, arity in query.predicate_arities().items():
+            known = arities.get(predicate)
+            if known is None:
+                arities[predicate] = arity
+            elif known != arity:
+                raise MalformedQueryError(
+                    f"predicate {predicate!r} used with arities {known} and {arity}"
+                )
+    return arities
+
+
 def combined_predicate_arities(first: Query, second: Query) -> dict[str, int]:
     """The predicates (with arities) occurring in either query, checking that
     shared predicates are used with consistent arities."""
-    arities = dict(first.predicate_arities())
-    for predicate, arity in second.predicate_arities().items():
-        known = arities.get(predicate)
-        if known is None:
-            arities[predicate] = arity
-        elif known != arity:
-            raise MalformedQueryError(
-                f"predicate {predicate!r} used with arities {known} and {arity}"
-            )
-    return arities
+    return catalog_predicate_arities((first, second))
 
 
 def equality(left: Term, right: Term) -> Comparison:

@@ -63,9 +63,12 @@ from .planner import (
     plan_condition,
 )
 from .symbolic import (
+    GroupComparison,
     SymbolicAssignment,
     SymbolicDatabase,
     catalog_symbolic_groups,
+    compare_symbolic_answers,
+    compare_symbolic_groups,
     clear_symbolic_caches,
     execute_symbolic_plan,
     relation_signature,
@@ -80,6 +83,7 @@ __all__ = [
     "AtomStep",
     "BindStep",
     "CompareStep",
+    "GroupComparison",
     "LabeledAssignment",
     "NegationStep",
     "Plan",
@@ -87,6 +91,8 @@ __all__ = [
     "SymbolicDatabase",
     "catalog_symbolic_groups",
     "clear_evaluation_caches",
+    "compare_symbolic_answers",
+    "compare_symbolic_groups",
     "clear_plan_cache",
     "clear_symbolic_caches",
     "evaluate",

@@ -113,6 +113,13 @@ class SymbolicDatabase:
     def _indexes(self) -> dict[tuple[str, tuple[int, ...]], dict[tuple, tuple[tuple, ...]]]:
         return {}
 
+    @cached_property
+    def _signature_memo(self) -> dict[tuple[str, ...], tuple]:
+        # Restricted relation signatures by predicate tuple.  One database
+        # instance serves every query and pair of a catalog sweep, so the
+        # per-(S, L) signatures are built once instead of once per cell.
+        return {}
+
     def relation(self, predicate: str) -> frozenset[tuple[Term, ...]]:
         return self.canonical_relations.get(predicate, frozenset())
 
@@ -201,16 +208,26 @@ def _query_predicates(query: Query) -> tuple[str, ...]:
     return tuple(sorted(query.predicates()))
 
 
+def _signature_for(database: SymbolicDatabase, predicates: tuple[str, ...]) -> tuple:
+    """The canonical relations of the database restricted to a predicate
+    tuple, memoized on the database instance."""
+    memo = database._signature_memo
+    signature = memo.get(predicates)
+    if signature is None:
+        relations = database.canonical_relations
+        empty: frozenset = frozenset()
+        signature = tuple(
+            (predicate, relations.get(predicate, empty)) for predicate in predicates
+        )
+        memo[predicates] = signature
+    return signature
+
+
 def relation_signature(query: Query, database: SymbolicDatabase) -> tuple:
     """The canonical relations of the database restricted to the predicates
     the query mentions — the cache key under which comparison-free symbolic
     results are shared across orderings, subsets, and catalog pairs."""
-    relations = database.canonical_relations
-    empty: frozenset = frozenset()
-    return tuple(
-        (predicate, relations.get(predicate, empty))
-        for predicate in _query_predicates(query)
-    )
+    return _signature_for(database, _query_predicates(query))
 
 
 #: Whether the shared (relation-signature keyed) Γ caches are active.  The
@@ -225,6 +242,10 @@ _SHARED_CACHE_LIMIT = 65536
 _ASSIGNMENTS_BY_RELATIONS: dict[tuple, tuple[SymbolicAssignment, ...]] = {}
 _GROUPS_BY_RELATIONS: dict[tuple, dict] = {}
 _MULTISET_BY_RELATIONS: dict[tuple, dict] = {}
+_GROUP_COMPARISON_BY_RELATIONS: dict[tuple, "GroupComparison"] = {}
+_ANSWER_COMPARISON_BY_RELATIONS: dict[tuple, bool] = {}
+_GROUP_INDEX_BY_RELATIONS: dict[tuple, dict] = {}
+_GROUP_INDEX_INTERN: dict[frozenset, dict] = {}
 _SHARED_GAMMA_STATS = {"hits": 0, "misses": 0}
 
 
@@ -252,6 +273,8 @@ def symbolic_cache_stats() -> dict[str, int]:
         "assignments_entries": len(_ASSIGNMENTS_BY_RELATIONS),
         "groups_entries": len(_GROUPS_BY_RELATIONS),
         "multiset_entries": len(_MULTISET_BY_RELATIONS),
+        "group_comparison_entries": len(_GROUP_COMPARISON_BY_RELATIONS),
+        "answer_comparison_entries": len(_ANSWER_COMPARISON_BY_RELATIONS),
     }
 
 
@@ -301,6 +324,10 @@ def clear_symbolic_caches() -> None:
     _ASSIGNMENTS_BY_RELATIONS.clear()
     _GROUPS_BY_RELATIONS.clear()
     _MULTISET_BY_RELATIONS.clear()
+    _GROUP_COMPARISON_BY_RELATIONS.clear()
+    _ANSWER_COMPARISON_BY_RELATIONS.clear()
+    _GROUP_INDEX_BY_RELATIONS.clear()
+    _GROUP_INDEX_INTERN.clear()
     _SHARED_GAMMA_STATS["hits"] = 0
     _SHARED_GAMMA_STATS["misses"] = 0
 
@@ -502,3 +529,156 @@ def catalog_symbolic_groups(
     restricted-relation-signature cache.
     """
     return {name: symbolic_groups(query, database) for name, query in queries.items()}
+
+
+# ----------------------------------------------------------------------
+# Group-comparison kernels (single-sweep catalog engine)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GroupComparison:
+    """The ordering-independent part of comparing two queries over one S_L.
+
+    ``keys_match`` is whether the two queries produce the same group keys;
+    ``residual`` lists the groups whose bags differ *as multisets* — only
+    those can fail an ordered identity (``α(B) = α(B)`` is trivially valid),
+    so only those need the per-ordering deciders.  An instance with matching
+    keys and an empty residual certifies agreement under *every* ordering of
+    the block partition.
+    """
+
+    keys_match: bool
+    residual: tuple[tuple[tuple[Term, ...], tuple[tuple[Term, ...], ...], tuple[tuple[Term, ...], ...]], ...] = ()
+
+    @property
+    def agree_everywhere(self) -> bool:
+        return self.keys_match and not self.residual
+
+
+@lru_cache(maxsize=16384)
+def _pair_predicates(first: Query, second: Query) -> tuple[str, ...]:
+    return tuple(sorted(set(_query_predicates(first)) | set(_query_predicates(second))))
+
+
+def _pair_signature(first: Query, second: Query, database: SymbolicDatabase) -> tuple:
+    """The canonical relations restricted to the union of the two queries'
+    predicates — the key under which comparison results are shared."""
+    return _signature_for(database, _pair_predicates(first, second))
+
+
+def _shares_pair(first: Query, second: Query) -> bool:
+    return (
+        _SHARED_GAMMA_ENABLED
+        and not query_uses_comparisons(first)
+        and not query_uses_comparisons(second)
+    )
+
+
+def compare_symbolic_groups(
+    first: Query, second: Query, database: SymbolicDatabase
+) -> GroupComparison:
+    """Compare the symbolic groups of two aggregate queries over one ``S_L``,
+    separating the ordering-independent part (group keys and multiset-equal
+    bags) from the residual groups that still need ordered-identity checks.
+
+    For comparison-free pairs the result is cached by the pair's joint
+    restricted relation signature, so one comparison serves every ordering of
+    a block partition, every subset merging to the same canonical relations,
+    and — in a catalog sweep — every (subset, ordering-class) cell the pair
+    is re-examined under.
+    """
+    if _shares_pair(first, second):
+        key = (first, second, _pair_signature(first, second, database))
+        cached = _GROUP_COMPARISON_BY_RELATIONS.get(key)
+        if cached is None:
+            cached = _compute_group_comparison(first, second, database)
+            _shared_cache_put(_GROUP_COMPARISON_BY_RELATIONS, key, cached)
+        return cached
+    return _compute_group_comparison(first, second, database)
+
+
+def symbolic_group_index(
+    query: Query, database: SymbolicDatabase
+) -> dict[tuple[Term, ...], "Counter"]:
+    """``{group key: multiset of bag elements}`` for one query over one S_L —
+    the canonical form under which group comparisons are one dict equality.
+    Cached per (query, restricted relation signature), so the multisets are
+    built O(catalog) times per sweep, not O(pairs), and *interned* by
+    content: two queries producing equal groups over the same S_L share one
+    index object, so the sweep's per-pair agreement check is an identity
+    check.  Callers must treat the result as read-only.
+    """
+    if _shares_by_relations(query):
+        key = (query, relation_signature(query, database))
+        cached = _GROUP_INDEX_BY_RELATIONS.get(key)
+        if cached is None:
+            cached = _intern_group_index(_compute_group_index(query, database))
+            _shared_cache_put(_GROUP_INDEX_BY_RELATIONS, key, cached)
+        return cached
+    return _compute_group_index(query, database)
+
+
+def _intern_group_index(index: dict) -> dict:
+    frozen = frozenset(
+        (group_key, frozenset(counter.items())) for group_key, counter in index.items()
+    )
+    canonical = _GROUP_INDEX_INTERN.get(frozen)
+    if canonical is None:
+        _shared_cache_put(_GROUP_INDEX_INTERN, frozen, index)
+        return index
+    return canonical
+
+
+def _compute_group_index(query: Query, database: SymbolicDatabase) -> dict:
+    from collections import Counter
+
+    return {
+        group_key: Counter(bag)
+        for group_key, bag in symbolic_groups(query, database).items()
+    }
+
+
+def _compute_group_comparison(
+    first: Query, second: Query, database: SymbolicDatabase
+) -> GroupComparison:
+    left_index = symbolic_group_index(first, database)
+    right_index = symbolic_group_index(second, database)
+    if left_index is right_index or left_index == right_index:
+        # The common case for equivalent rewritings: identical groups, so
+        # every ordered identity holds trivially under every ordering.
+        return GroupComparison(keys_match=True)
+    if left_index.keys() != right_index.keys():
+        return GroupComparison(keys_match=False)
+    left_groups = symbolic_groups(first, database)
+    right_groups = symbolic_groups(second, database)
+    residual = tuple(
+        (group_key, tuple(left_groups[group_key]), tuple(right_groups[group_key]))
+        for group_key in left_groups
+        if left_index[group_key] != right_index[group_key]
+    )
+    return GroupComparison(keys_match=True, residual=residual)
+
+
+def compare_symbolic_answers(
+    first: Query, second: Query, database: SymbolicDatabase, semantics: str
+) -> bool:
+    """Whether two non-aggregate queries produce the same symbolic answers
+    over one ``S_L`` (as a set for ``"set"`` semantics, with multiplicities
+    for ``"bag-set"``), cached like :func:`compare_symbolic_groups`."""
+    if _shares_pair(first, second):
+        key = (first, second, semantics, _pair_signature(first, second, database))
+        cached = _ANSWER_COMPARISON_BY_RELATIONS.get(key)
+        if cached is None:
+            cached = _compute_answer_comparison(first, second, database, semantics)
+            _shared_cache_put(_ANSWER_COMPARISON_BY_RELATIONS, key, cached)
+        return cached
+    return _compute_answer_comparison(first, second, database, semantics)
+
+
+def _compute_answer_comparison(
+    first: Query, second: Query, database: SymbolicDatabase, semantics: str
+) -> bool:
+    left = symbolic_answer_multiset(first, database)
+    right = symbolic_answer_multiset(second, database)
+    if semantics == "bag-set":
+        return left == right
+    return set(left) == set(right)

@@ -64,3 +64,8 @@ class EvaluationError(ReproError):
 class UnsatisfiableOrderingError(ReproError):
     """Raised when an operation requires a satisfiable ordering but the given
     conjunction of comparisons is unsatisfiable over the requested domain."""
+
+
+class SearchSpaceBudgetError(ReproError):
+    """Raised when a bounded-equivalence (or catalog-sweep) search space
+    exceeds the caller's ``max_subsets`` budget."""

@@ -1,19 +1,22 @@
-"""Parallel decision subsystem: sharded bounded equivalence and equivalence
-matrices.
+"""Parallel decision subsystem: sharded bounded equivalence, catalog sweeps,
+and equivalence matrices.
 
 The decision procedures of the paper enumerate huge but *independent* check
 spaces — (subset, ordering) pairs for bounded equivalence, query pairs for an
-equivalence matrix.  This package splits those spaces into picklable shards
-(:mod:`repro.parallel.tasks`) and runs them through pluggable executors
-(:mod:`repro.parallel.executor`): serial for reference and debugging, or a
-multiprocessing pool with chunked dispatch, early exit on the first
-counterexample via a shared cancellation event, and deterministic merging of
-verdicts and witnesses.
+equivalence matrix, and (subset, ordering-class) rows of a whole sub-catalog
+for the single-sweep engine.  This package splits those spaces into picklable
+shards (:mod:`repro.parallel.tasks`) and runs them through pluggable
+executors (:mod:`repro.parallel.executor`): serial for reference and
+debugging, or a multiprocessing pool with chunked dispatch, early exit via a
+shared cancellation event, and deterministic merging of verdicts and
+witnesses.  Sweep pools are forked after a serial warm prefix, so workers
+inherit the parent's shared Γ / comparison caches copy-on-write.
 
 Users normally reach this subsystem through ``workers=N`` on
 :func:`repro.core.bounded.bounded_equivalence` or
 :func:`repro.workloads.equivalence_matrix`; the ``REPRO_WORKERS`` environment
-variable sets the default worker count process-wide.
+variable sets the default worker count process-wide (a malformed value warns
+and falls back to serial).
 """
 
 from .executor import (
@@ -29,13 +32,18 @@ from .tasks import (
     BoundedCheckTask,
     PairCheckTask,
     PairOutcome,
+    SweepCheckOutcome,
+    SweepCheckTask,
     bounded_check_tasks,
     derive_pair_seed,
     merge_bounded_outcomes,
     pair_check_tasks,
     parallel_bounded_search,
+    parallel_sweep_search,
     run_bounded_check_task,
     run_pair_task,
+    run_sweep_check_task,
+    sweep_check_tasks,
 )
 
 __all__ = [
@@ -45,6 +53,8 @@ __all__ = [
     "PairOutcome",
     "ProcessExecutor",
     "SerialExecutor",
+    "SweepCheckOutcome",
+    "SweepCheckTask",
     "bounded_check_tasks",
     "cancellation_requested",
     "default_workers",
@@ -53,7 +63,10 @@ __all__ = [
     "merge_bounded_outcomes",
     "pair_check_tasks",
     "parallel_bounded_search",
+    "parallel_sweep_search",
     "resolve_executor",
     "run_bounded_check_task",
     "run_pair_task",
+    "run_sweep_check_task",
+    "sweep_check_tasks",
 ]

@@ -53,10 +53,27 @@ def available_cores() -> int:
 
 def default_workers() -> int:
     """The worker count used when callers pass ``workers=None``: the value of
-    ``REPRO_WORKERS`` (default 1, i.e. serial)."""
+    ``REPRO_WORKERS`` (default 1, i.e. serial).
+
+    A malformed value (``REPRO_WORKERS=two``) falls back to serial, but not
+    silently: a :class:`RuntimeWarning` names the bad value, so a typo in a
+    CI matrix or a deployment manifest cannot quietly disable the parallel
+    subsystem.
+    """
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None:
+        return 1
     try:
-        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+        return max(1, int(raw))
     except ValueError:
+        import warnings
+
+        warnings.warn(
+            f"ignoring malformed {WORKERS_ENV}={raw!r} (expected an integer); "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 

@@ -33,8 +33,11 @@ from ..core.bounded import (
     Counterexample,
     EquivalenceReport,
     SharedBaseContext,
+    SweepRunSetup,
     check_subset,
+    check_subset_sweep,
     prepare_bounded_run,
+    prepare_sweep_run,
 )
 from ..core.equivalence import EquivalenceResult, Verdict, are_equivalent
 from ..datalog.queries import Query
@@ -86,26 +89,34 @@ class BoundedCheckOutcome:
     cancelled: bool = False
 
 
-#: Per-process memo of run setups, so a worker prepares BASE and the ordering
-#: classes once per (pair, bound) no matter how many shards it executes.
-#: Setups are heavy (materialized BASE + orderings), so the memo is capped:
-#: on overflow the oldest entries are evicted (dicts iterate insertion-first).
-_SETUP_MEMO: dict[tuple, BoundedRunSetup] = {}
+#: Per-process memo of run setups (bounded pairs and catalog sweeps share
+#: it, disambiguated by a type tag in the key), so a worker prepares BASE and
+#: the ordering classes once per (pair/catalog, bound) no matter how many
+#: shards it executes.  Setups are heavy (materialized BASE + orderings), so
+#: the memo is capped: on overflow the oldest entries are evicted (dicts
+#: iterate insertion-first).
+_SETUP_MEMO: dict[tuple, "BoundedRunSetup | SweepRunSetup"] = {}
 _SETUP_MEMO_LIMIT = 64
 
 
-def _setup_for(task: BoundedCheckTask) -> BoundedRunSetup:
-    key = task._setup_key()
+def _memoized_setup(key: tuple, build):
     setup = _SETUP_MEMO.get(key)
     if setup is None:
-        setup = prepare_bounded_run(
-            task.first, task.second, task.bound, task.domain, task.semantics, task.extra_constants
-        )
+        setup = build()
         if len(_SETUP_MEMO) >= _SETUP_MEMO_LIMIT:
             for stale in list(_SETUP_MEMO)[: _SETUP_MEMO_LIMIT // 4]:
                 del _SETUP_MEMO[stale]
         _SETUP_MEMO[key] = setup
     return setup
+
+
+def _setup_for(task: BoundedCheckTask) -> BoundedRunSetup:
+    return _memoized_setup(
+        ("bounded",) + task._setup_key(),
+        lambda: prepare_bounded_run(
+            task.first, task.second, task.bound, task.domain, task.semantics, task.extra_constants
+        ),
+    )
 
 
 def run_bounded_check_task(task: BoundedCheckTask) -> BoundedCheckOutcome:
@@ -219,6 +230,185 @@ def parallel_bounded_search(
 
 
 # ----------------------------------------------------------------------
+# Catalog-sweep shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCheckTask:
+    """A picklable shard of a single-sweep catalog search.
+
+    A shard owns a slice of the (subset, ordering-class) grid for the whole
+    sub-catalog: ``chunk`` holds ``(position, subset_indices)`` rows, and the
+    worker checks every ordering class (and every still-open pair) against
+    each row.  Workers rebuild the sweep setup (BASE, ordering classes,
+    aggregation function) locally and memoize it per process — when the pool
+    was forked after the parent's warm prefix, they also inherit the already
+    populated shared Γ / comparison caches copy-on-write.
+    """
+
+    index: int
+    queries: tuple[tuple[str, Query], ...]
+    pairs: tuple[tuple[str, str], ...]
+    bound: int
+    domain: Domain
+    semantics: str
+    extra_constants: tuple[Constant, ...]
+    seed: Optional[int]
+    chunk: tuple[tuple[int, tuple[int, ...]], ...]
+
+    def _setup_key(self) -> tuple:
+        return (
+            self.queries,
+            self.bound,
+            self.domain,
+            self.semantics,
+            self.extra_constants,
+        )
+
+
+@dataclass
+class SweepCheckOutcome:
+    """The result of one sweep shard: merged statistics plus, for every pair
+    the shard saw fail, its first failure at a global
+    ``(subset_position, ordering_position)``."""
+
+    task_index: int
+    stats: CheckStats
+    found: tuple[tuple[tuple[str, str], tuple[int, int], Counterexample], ...] = ()
+    cancelled: bool = False
+
+
+def _sweep_setup_for(task: SweepCheckTask) -> SweepRunSetup:
+    return _memoized_setup(
+        ("sweep",) + task._setup_key(),
+        lambda: prepare_sweep_run(
+            dict(task.queries), task.bound, task.domain, task.semantics, task.extra_constants
+        ),
+    )
+
+
+def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
+    """Execute one sweep shard.  A pair a shard has seen fail is not checked
+    again within the shard; the shard stops once every assigned pair failed
+    locally or the pool's cancellation event fires."""
+    setup = _sweep_setup_for(task)
+    stats = CheckStats()
+    pair_seeds = {
+        pair: derive_pair_seed(task.seed, pair[0], pair[1]) or 0 for pair in task.pairs
+    }
+    open_pairs = list(task.pairs)
+    found: list[tuple[tuple[str, str], tuple[int, int], Counterexample]] = []
+    base = setup.base
+    for position, indices in task.chunk:
+        if not open_pairs:
+            break
+        if cancellation_requested():
+            return SweepCheckOutcome(task.index, stats, tuple(found), cancelled=True)
+        stats.subsets_examined += 1
+        hits = check_subset_sweep(
+            setup, frozenset(base[i] for i in indices), open_pairs, stats, pair_seeds
+        )
+        for pair, ordering_position, counterexample in hits:
+            found.append((pair, (position, ordering_position), counterexample))
+            open_pairs.remove(pair)
+    return SweepCheckOutcome(task.index, stats, tuple(found))
+
+
+def sweep_check_tasks(
+    queries: tuple[tuple[str, Query], ...],
+    pairs: tuple[tuple[str, str], ...],
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: tuple[Constant, ...],
+    subsets: Sequence[tuple[int, tuple[int, ...]]],
+    shards: int,
+    seed: Optional[int] = None,
+) -> list[SweepCheckTask]:
+    """Split a positioned subset stream into round-robin sweep shards (same
+    size-profile balancing as :func:`bounded_check_tasks`)."""
+    shards = max(1, min(shards, len(subsets))) if subsets else 1
+    chunks: list[list[tuple[int, tuple[int, ...]]]] = [[] for _ in range(shards)]
+    for offset, positioned in enumerate(subsets):
+        chunks[offset % shards].append(positioned)
+    return [
+        SweepCheckTask(
+            index=index,
+            queries=queries,
+            pairs=pairs,
+            bound=bound,
+            domain=domain,
+            semantics=semantics,
+            extra_constants=extra_constants,
+            seed=seed,
+            chunk=tuple(chunk),
+        )
+        for index, chunk in enumerate(chunks)
+        if chunk
+    ]
+
+
+def parallel_sweep_search(
+    *,
+    queries: tuple[tuple[str, Query], ...],
+    pairs: tuple[tuple[str, str], ...],
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: tuple[Constant, ...],
+    subsets: Sequence[tuple[int, tuple[int, ...]]],
+    reports: "dict[tuple[str, str], EquivalenceReport]",
+    stats: CheckStats,
+    workers: Optional[int],
+    executor: Optional[Executor],
+    seed: Optional[int],
+) -> None:
+    """Shard a single-sweep catalog search across an executor and fold the
+    outcomes into the per-pair reports (called by
+    :func:`repro.core.bounded.sweep_equivalence` after the warm prefix).
+
+    The merge is deterministic: for every pair the counterexample at the
+    smallest global (subset, ordering) position wins, so verdicts never
+    depend on worker scheduling.  Cancellation fires only once *every* pair
+    has a settled failure, so pairs left standing really survived the whole
+    enumeration.
+    """
+    executor = resolve_executor(workers, executor)
+    shard_count = max(1, getattr(executor, "workers", 1)) * 4
+    tasks = sweep_check_tasks(
+        queries, pairs, bound, domain, semantics, extra_constants, subsets, shard_count, seed
+    )
+    remaining = set(pairs)
+
+    def all_settled(outcome: SweepCheckOutcome) -> bool:
+        for pair, _position, _counterexample in outcome.found:
+            remaining.discard(pair)
+        return not remaining
+
+    outcomes = executor.run(run_sweep_check_task, tasks, stop=all_settled)
+    best: dict[tuple[str, str], tuple[tuple[int, int], Counterexample]] = {}
+    cancelled = 0
+    for outcome in outcomes:
+        stats.merge(outcome.stats)
+        if outcome.cancelled:
+            cancelled += 1
+        for pair, position, counterexample in outcome.found:
+            known = best.get(pair)
+            if known is None or position < known[0]:
+                best[pair] = (position, counterexample)
+    for pair, (_position, counterexample) in best.items():
+        report = reports[pair]
+        report.equivalent = False
+        report.counterexample = counterexample
+    workers_used = getattr(executor, "workers", 1)
+    for report in reports.values():
+        report.workers_used = workers_used
+        report.notes.append(
+            f"parallel sweep: {len(tasks)} shard(s) over {workers_used} worker(s)"
+            + (f", {cancelled} cancelled after full settlement" if cancelled else "")
+        )
+
+
+# ----------------------------------------------------------------------
 # Equivalence-matrix shards
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -292,26 +482,37 @@ def pair_check_tasks(
     normalize: bool,
     seed: Optional[int],
     context: Optional[SharedBaseContext],
+    pairs: Optional[Sequence[tuple[str, str]]] = None,
 ) -> list[PairCheckTask]:
-    """One task per unordered pair of catalog queries (``name_a < name_b``)."""
-    names = sorted(queries)
+    """One task per unordered pair of catalog queries (``name_a < name_b``).
+
+    ``pairs`` restricts the tasks to the given cells (used by the sweep
+    planner for the cells no sweep group owns); ``None`` means every
+    unordered pair.
+    """
+    if pairs is None:
+        names = sorted(queries)
+        pairs = [
+            (name_a, name_b)
+            for position, name_a in enumerate(names)
+            for name_b in names[position + 1 :]
+        ]
     tasks: list[PairCheckTask] = []
-    for position, name_a in enumerate(names):
-        for name_b in names[position + 1 :]:
-            tasks.append(
-                PairCheckTask(
-                    index=len(tasks),
-                    name_a=name_a,
-                    name_b=name_b,
-                    first=queries[name_a],
-                    second=queries[name_b],
-                    domain=domain,
-                    counterexample_trials=counterexample_trials,
-                    max_subsets=max_subsets,
-                    unknown_bound=unknown_bound,
-                    normalize=normalize,
-                    seed=seed,
-                    context=context,
-                )
+    for name_a, name_b in pairs:
+        tasks.append(
+            PairCheckTask(
+                index=len(tasks),
+                name_a=name_a,
+                name_b=name_b,
+                first=queries[name_a],
+                second=queries[name_b],
+                domain=domain,
+                counterexample_trials=counterexample_trials,
+                max_subsets=max_subsets,
+                unknown_bound=unknown_bound,
+                normalize=normalize,
+                seed=seed,
+                context=context,
             )
+        )
     return tasks

@@ -1,13 +1,24 @@
 """Workload generators, the data-warehouse scenario, and batched evaluation
 APIs used by examples, property-based tests, and the benchmark harness."""
 
-from .batch import equivalence_matrix, evaluate_many, format_equivalence_matrix
+from .batch import (
+    SweepCell,
+    SweepGroup,
+    SweepPlan,
+    equivalence_matrix,
+    evaluate_many,
+    format_equivalence_matrix,
+    plan_catalog_sweep,
+)
 from .generators import QueryGenerator, QueryProfile, linear_chain_query, renamed_copy
 from .scenarios import WAREHOUSE_SCHEMA, WarehouseScenario, build_warehouse
 
 __all__ = [
     "QueryGenerator",
     "QueryProfile",
+    "SweepCell",
+    "SweepGroup",
+    "SweepPlan",
     "WAREHOUSE_SCHEMA",
     "WarehouseScenario",
     "build_warehouse",
@@ -15,5 +26,6 @@ __all__ = [
     "evaluate_many",
     "format_equivalence_matrix",
     "linear_chain_query",
+    "plan_catalog_sweep",
     "renamed_copy",
 ]

@@ -11,23 +11,55 @@ the batched entry points the examples and benchmarks drive:
   procedure on every unordered pair of catalog queries, the bulk analogue of
   :func:`repro.core.equivalence.are_equivalent`.
 
-The matrix routes through the parallel decision subsystem
-(:mod:`repro.parallel`): every cell is an independent, picklable task, a
-catalog-wide :class:`~repro.core.bounded.SharedBaseContext` lets the symbolic
-engine reuse Γ(q, S_L) across every pair sharing a query, and
-``workers=N`` dispatches the cells across a process pool.  ``workers=None``
-honours the ``REPRO_WORKERS`` environment variable; the serial path runs the
-very same tasks through the serial executor, so the two can never diverge.
+Two execution strategies back the matrix:
+
+* **Single-sweep groups** (``sweep=True``, the default).  The planner
+  (:func:`plan_catalog_sweep`) partitions the cells by dispatch class: every
+  pair that the dispatcher would send to the bounded local-equivalence
+  procedure joins a *sweep group* of same-shape, same-function (after
+  normalization unification) queries.  Each group is decided by
+  :func:`repro.core.bounded.sweep_equivalence` — **one** subset/ordering
+  enumeration for the whole group, with all queries evaluated per (S, L) via
+  the shared Γ caches and the pairs compared in-loop — turning the Γ work
+  from O(pairs) into O(queries).  Cells outside every group (mixed shapes,
+  different functions, quasilinear pairs, undecided fragments, groups whose
+  BASE would blow the subset budget) fall back to the per-pair task path,
+  whose verdicts and methods the sweep reproduces cell for cell.
+* **Pair tasks** (``sweep=False``, the PR 2 path).  Every cell is an
+  independent, picklable task dispatched through
+  :func:`repro.core.equivalence.are_equivalent`.
+
+Both strategies route through the parallel subsystem (:mod:`repro.parallel`):
+``workers=N`` shards the sweep's subset stream and the pair tasks across a
+process pool; ``workers=None`` honours the ``REPRO_WORKERS`` environment
+variable; the serial path runs the very same work items through the serial
+executor, so the two can never diverge.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
 
-from ..core.bounded import SharedBaseContext
-from ..core.equivalence import EquivalenceResult
+from ..core.bounded import (
+    SET_SEMANTICS,
+    SharedBaseContext,
+    _catalog_base_size,
+    _catalog_is_comparison_free,
+    sweep_equivalence,
+)
+from ..core.equivalence import (
+    EquivalenceResult,
+    Verdict,
+    _decidable_by_local_equivalence,
+    normalization_method_suffix,
+    pair_count_reduction,
+)
+from ..core.quasilinear import is_quasilinear_decidable
+from ..aggregates.functions import get_function
 from ..datalog.database import Database
-from ..datalog.queries import Query
+from ..datalog.queries import Query, term_size_of_pair
+from ..datalog.terms import Constant
 from ..domains import Domain
 from ..engine.evaluator import evaluate
 from ..parallel.executor import Executor, resolve_executor
@@ -46,6 +78,250 @@ def evaluate_many(
     return {name: evaluate(query, database) for name, query in queries.items()}
 
 
+# ----------------------------------------------------------------------
+# Sweep planning
+# ----------------------------------------------------------------------
+@dataclass
+class SweepCell:
+    """Per-pair presentation metadata: the method/details strings the pair
+    path would emit, replicated so sweep cells are indistinguishable."""
+
+    method: str
+    notes: Optional[str] = None
+    normalized: bool = False
+
+
+@dataclass
+class SweepGroup:
+    """One single-sweep sub-catalog: the effective query forms, the cells the
+    sweep decides, and the BASE recipe (bound + extra constants)."""
+
+    key: tuple
+    queries: dict[str, Query]
+    pairs: list[tuple[str, str]]
+    cells: dict[tuple[str, str], SweepCell]
+    semantics: str
+    bound: int
+    extra_constants: tuple[Constant, ...] = ()
+
+
+@dataclass
+class SweepPlan:
+    """The output of :func:`plan_catalog_sweep`: sweep groups plus the cells
+    left on the per-pair task path."""
+
+    groups: list[SweepGroup] = field(default_factory=list)
+    pair_path: list[tuple[str, str]] = field(default_factory=list)
+
+
+#: Method strings of the pair path, replicated by the sweep cells.
+_METHOD_PLAIN = "local-equivalence (set semantics)"
+_METHOD_LOCAL = "local-equivalence (Theorem 6.5/6.6)"
+
+
+def plan_catalog_sweep(
+    queries: Mapping[str, Query],
+    domain: Domain = Domain.RATIONALS,
+    max_subsets: int = 2_000_000,
+    *,
+    normalize: bool = True,
+    context: Optional[SharedBaseContext] = None,
+) -> SweepPlan:
+    """Partition the matrix cells of a catalog into single-sweep groups and
+    per-pair fallbacks.
+
+    A cell joins a sweep group exactly when the dispatcher
+    (:func:`repro.core.equivalence.are_equivalent`) would decide it by the
+    bounded local-equivalence procedure: both queries non-aggregate, or both
+    aggregate with one shared function — possibly after the sum ≡ c·count
+    normalization unifies them — outside the quasilinear fragment.  Groups
+    collect the *effective* query forms (count forms for normalized pairs,
+    originals otherwise); a query may appear in several groups under
+    different forms (a pinned sum meets counts in count form and unpinned
+    sums in sum form), but every cell is owned by exactly one group or by
+    the pair path.
+
+    Groups are additionally keyed by the queries' exact predicate signature:
+    a group BASE is the union of its members' vocabularies, so sweeping
+    mixed-vocabulary queries together would enumerate
+    ``2^(|BASE_a| + |BASE_b|)`` subsets where the pair path enumerates at
+    most ``2^|BASE_a∪B|`` per cell — exponentially worse for the group's
+    *equivalent* cells, which cannot settle early.  Cross-signature cells
+    stay on the pair path, which decides them identically.
+
+    Groups keep the catalog-wide shared BASE (``context``) when the group is
+    comparison-free (otherwise the Γ sharing the widening pays for does not
+    apply) and the widened search space fits ``max_subsets``; a group whose
+    own BASE still blows the budget is dissolved back to pair tasks (where
+    the same budget guard raises, exactly as the pair path would).  Groups
+    with fewer than two cells stay on the pair path — a sweep shares nothing
+    there.
+    """
+    names = sorted(queries)
+    plan = SweepPlan()
+    grouped: dict[tuple, SweepGroup] = {}
+    order: list[tuple] = []
+
+    for position, name_a in enumerate(names):
+        for name_b in names[position + 1 :]:
+            first, second = queries[name_a], queries[name_b]
+            pair = (name_a, name_b)
+            route = _route_pair(first, second, domain, normalize)
+            if route is None:
+                plan.pair_path.append(pair)
+                continue
+            key, effective_first, effective_second, cell = route
+            first_signature = frozenset(effective_first.predicates())
+            if first_signature != frozenset(effective_second.predicates()):
+                plan.pair_path.append(pair)
+                continue
+            key = key + (first_signature,)
+            pair_bound = term_size_of_pair(effective_first, effective_second)
+            if not _catalog_is_comparison_free((effective_first, effective_second)):
+                # Comparison-carrying pairs get no shared-Γ payoff and skip
+                # the context widening on the pair path, so a group-max
+                # bound would both break the ``bound τ`` parity with the
+                # pair path and enumerate a needlessly larger BASE.  Group
+                # them only with pairs of the exact same BASE recipe.
+                key = key + (
+                    frozenset(effective_first.constants() | effective_second.constants()),
+                    pair_bound,
+                )
+            group = grouped.get(key)
+            if group is None:
+                group = SweepGroup(
+                    key=key,
+                    queries={},
+                    pairs=[],
+                    cells={},
+                    semantics=SET_SEMANTICS,
+                    bound=0,
+                )
+                grouped[key] = group
+                order.append(key)
+            group.queries[name_a] = effective_first
+            group.queries[name_b] = effective_second
+            group.pairs.append(pair)
+            group.cells[pair] = cell
+            group.bound = max(group.bound, term_size_of_pair(effective_first, effective_second))
+
+    for key in order:
+        _finalize_group(grouped[key], context, max_subsets, plan)
+    return plan
+
+
+def _finalize_group(
+    group: SweepGroup,
+    context: Optional[SharedBaseContext],
+    max_subsets: int,
+    plan: SweepPlan,
+) -> None:
+    """Budget-check a candidate group and place it (or its cells) into the
+    plan: the catalog-wide shared BASE when it applies and fits, then the
+    group-local BASE, then dissolution to pair tasks (whose own budget guard
+    treats every cell exactly as it always has)."""
+    if len(group.pairs) < 2:
+        plan.pair_path.extend(group.pairs)
+        return
+    members = list(group.queries.values())
+    if (
+        context is not None
+        and context.bound >= group.bound
+        and _catalog_is_comparison_free(members)
+    ):
+        widened = _catalog_base_size(members, context.bound, context.constants)
+        if 2**widened <= max_subsets:
+            group.bound = context.bound
+            group.extra_constants = context.constants
+            plan.groups.append(group)
+            return
+    if 2 ** _catalog_base_size(members, group.bound, ()) <= max_subsets:
+        plan.groups.append(group)
+        return
+    plan.pair_path.extend(group.pairs)
+
+
+def _route_pair(
+    first: Query, second: Query, domain: Domain, normalize: bool
+) -> Optional[tuple[tuple, Query, Query, SweepCell]]:
+    """The sweep routing of one cell: ``(group key, effective forms, cell
+    metadata)``, or ``None`` for the pair path.  Mirrors the dispatch order
+    of :func:`repro.core.equivalence.are_equivalent` exactly."""
+    if first.is_aggregate != second.is_aggregate:
+        return None
+    if not first.is_aggregate:
+        return ("plain",), first, second, SweepCell(method=_METHOD_PLAIN)
+    effective_first, effective_second = first, second
+    cell = SweepCell(method=_METHOD_LOCAL)
+    if normalize:
+        reduction = pair_count_reduction(first, second)
+        if reduction is not None:
+            effective_first, effective_second, multiplier, notes = reduction
+            cell = SweepCell(
+                method=_METHOD_LOCAL + normalization_method_suffix(multiplier),
+                notes=notes,
+                normalized=True,
+            )
+    if effective_first.aggregate.function != effective_second.aggregate.function:
+        return None
+    function = get_function(effective_first.aggregate.function)
+    if is_quasilinear_decidable(effective_first, effective_second, function, domain):
+        return None
+    if not _decidable_by_local_equivalence(function, domain):
+        return None
+    return (
+        ("agg", effective_first.aggregate.function),
+        effective_first,
+        effective_second,
+        cell,
+    )
+
+
+def _sweep_cell_result(
+    group: SweepGroup,
+    pair: tuple[str, str],
+    report,
+    domain: Domain,
+    originals: Mapping[str, Query],
+) -> EquivalenceResult:
+    """Convert a sweep report into the EquivalenceResult the pair path would
+    produce for this cell (same method, details, and — for normalized cells —
+    witness results re-evaluated through the original queries)."""
+    cell = group.cells[pair]
+    verdict = Verdict.EQUIVALENT if report.equivalent else Verdict.NOT_EQUIVALENT
+    details = f"bound τ = {report.bound}"
+    if cell.notes:
+        details = f"{details}; {cell.notes}"
+    counterexample = report.counterexample
+    if (
+        cell.normalized
+        and counterexample is not None
+        and counterexample.database is not None
+    ):
+        from ..core.bounded import Counterexample
+
+        witness_database = counterexample.database
+        counterexample = Counterexample(
+            database=witness_database,
+            left_result=evaluate(originals[pair[0]], witness_database),
+            right_result=evaluate(originals[pair[1]], witness_database),
+            ordering=counterexample.ordering,
+            symbolic_atoms=counterexample.symbolic_atoms,
+        )
+        report.counterexample = counterexample
+    return EquivalenceResult(
+        verdict,
+        method=cell.method,
+        domain=domain,
+        report=report,
+        counterexample=counterexample,
+        details=details,
+    )
+
+
+# ----------------------------------------------------------------------
+# The equivalence matrix
+# ----------------------------------------------------------------------
 def equivalence_matrix(
     queries: Mapping[str, Query],
     domain: Domain = Domain.RATIONALS,
@@ -58,6 +334,7 @@ def equivalence_matrix(
     seed: Optional[int] = None,
     normalize: bool = True,
     shared_base: bool = True,
+    sweep: bool = True,
 ) -> dict[tuple[str, str], EquivalenceResult]:
     """Pairwise equivalence over a query catalog.
 
@@ -68,13 +345,44 @@ def equivalence_matrix(
     agree) rather than raising, so one odd catalog entry does not abort the
     whole sweep.
 
-    ``workers=N`` shards the cells across N processes (``None`` consults
-    ``REPRO_WORKERS``); ``seed`` derives a deterministic per-pair seed for the
-    randomized witness searches, so results are reproducible regardless of
-    worker scheduling; ``shared_base`` activates the catalog-wide BASE that
-    lets pairs reaching the bounded procedure reuse memoized Γ(q, S_L).
+    ``sweep=True`` (default) decides same-dispatch-class sub-catalogs with
+    one subset/ordering enumeration each (:func:`plan_catalog_sweep`) and
+    only the leftover cells as per-pair tasks; ``sweep=False`` forces the
+    PR 2 all-pairs task path.  ``workers=N`` shards both the sweep streams
+    and the cell tasks across N processes (``None`` consults
+    ``REPRO_WORKERS``); ``seed`` derives a deterministic per-pair seed for
+    the randomized witness searches, so results are reproducible regardless
+    of worker scheduling; ``shared_base`` activates the catalog-wide BASE
+    that aligns the sweeps with the pair tasks and lets pairs reaching the
+    bounded procedure reuse memoized Γ(q, S_L).
     """
     context = SharedBaseContext.from_catalog(queries.values()) if shared_base else None
+    results: dict[tuple[str, str], EquivalenceResult] = {}
+    pair_subset: Optional[Sequence[tuple[str, str]]] = None
+    if sweep:
+        plan = plan_catalog_sweep(
+            queries,
+            domain=domain,
+            max_subsets=max_subsets,
+            normalize=normalize,
+            context=context,
+        )
+        for group in plan.groups:
+            reports = sweep_equivalence(
+                group.queries,
+                group.pairs,
+                group.bound,
+                domain=domain,
+                semantics=group.semantics,
+                max_subsets=max_subsets,
+                workers=workers,
+                executor=executor,
+                seed=seed,
+                extra_constants=group.extra_constants,
+            )
+            for pair, report in reports.items():
+                results[pair] = _sweep_cell_result(group, pair, report, domain, queries)
+        pair_subset = plan.pair_path
     tasks = pair_check_tasks(
         queries,
         domain=domain,
@@ -84,12 +392,12 @@ def equivalence_matrix(
         normalize=normalize,
         seed=seed,
         context=context,
+        pairs=pair_subset,
     )
     outcomes = resolve_executor(workers, executor).run(run_pair_task, tasks)
-    return {
-        (outcome.name_a, outcome.name_b): outcome.result
-        for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index)
-    }
+    for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index):
+        results[(outcome.name_a, outcome.name_b)] = outcome.result
+    return dict(sorted(results.items()))
 
 
 def format_equivalence_matrix(

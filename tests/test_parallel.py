@@ -361,14 +361,16 @@ class TestNormalization:
         assert note is not None
 
     def test_one_sided_normalization_never_downgrades_same_function_pairs(self):
-        # Both queries are sum-queries and equivalent; only the first has a
-        # syntactic u = 1 pin.  Rewriting just one side would push the pair
-        # from the decidable sum/sum class into the different-function open
-        # fragment — the dispatcher must keep the originals instead.
+        # Both queries are sum-queries and equivalent; only the first has an
+        # equality pin (the second pins u semantically via u >= 1, u <= 1,
+        # which the equality-chain propagation deliberately does not chase).
+        # Rewriting just one side would push the pair from the decidable
+        # sum/sum class into the different-function open fragment — the
+        # dispatcher must keep the originals instead.
         from repro.core import are_equivalent
 
         first = parse_query("q(s, sum(u)) :- r(s, u), u = 1")
-        second = parse_query("q(s, sum(u)) :- r(s, u), u = v, v = 1")
+        second = parse_query("q(s, sum(u)) :- r(s, u), u >= 1, u <= 1")
         result = are_equivalent(first, second)
         assert result.verdict is Verdict.EQUIVALENT
         assert "normalization" not in result.method

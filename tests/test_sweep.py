@@ -1,0 +1,539 @@
+"""Tests for the single-sweep catalog engine and the widened normalization.
+
+Covers the constant-propagation fixes in the dispatcher (equality-chain pins,
+the ``sum ≡ c·count`` generalization, and the documented negative cases), the
+sweep planner's partition of matrix cells, the group-comparison kernels, and
+a differential suite pinning ``equivalence_matrix(sweep=True)`` against the
+PR 2 pairwise path — verdicts, methods, and witnesses cell for cell — on
+every scenario catalog, serial and with ``workers=2``.
+"""
+
+import warnings
+
+import pytest
+
+from repro import Verdict, parse_query
+from repro.core import are_equivalent, normalize_for_dispatch
+from repro.core.bounded import SharedBaseContext, sweep_equivalence
+from repro.core.equivalence import (
+    aggregation_pin,
+    pair_count_reduction,
+    sum_count_reduction,
+)
+from repro.datalog.terms import Constant
+from repro.engine import clear_symbolic_caches
+from repro.engine.symbolic import SymbolicDatabase, compare_symbolic_groups, symbolic_group_index
+from repro.errors import ReproError, SearchSpaceBudgetError
+from repro.parallel.executor import default_workers
+from repro.workloads import build_warehouse, equivalence_matrix
+from repro.workloads.batch import plan_catalog_sweep
+
+
+# ----------------------------------------------------------------------
+# Normalization: equality-chain pins and sum ≡ c·count
+# ----------------------------------------------------------------------
+class TestEqualityChainPin:
+    def test_chain_pin_flips_sum_count_pair_to_equivalent(self):
+        # The ISSUE 3 acceptance case: a pin through y = z, z = 1 used to
+        # leave the pair UNKNOWN (the syntactic check saw no direct y = 1).
+        first = parse_query("q(s, sum(u)) :- p(s, a), u = z, z = 1")
+        second = parse_query("q(s, count()) :- p(s, a)")
+        result = are_equivalent(first, second)
+        assert result.verdict is Verdict.EQUIVALENT
+        assert "normalization" in result.method
+        unnormalized = are_equivalent(first, second, normalize=False)
+        assert unnormalized.verdict is Verdict.UNKNOWN
+
+    def test_longer_chains_propagate(self):
+        query = parse_query("q(s, sum(u)) :- p(s, a), u = z, z = w, w = 1")
+        assert aggregation_pin(query) == Constant(1)
+        rewritten, note = normalize_for_dispatch(query)
+        assert note is not None and rewritten.aggregate.function == "count"
+
+    def test_chain_through_a_constant_hop(self):
+        # u = 1 and 1 = w put u and w in one class; the single constant 1
+        # still pins u.
+        query = parse_query("q(s, sum(u)) :- p(s, a), w = 1, u = w")
+        assert aggregation_pin(query) == Constant(1)
+
+    def test_pin_must_hold_in_every_disjunct(self):
+        query = parse_query("q(s, sum(u)) :- p(s, u), u = z, z = 1 ; p(s, u)")
+        assert aggregation_pin(query) is None
+        _, note = normalize_for_dispatch(query)
+        assert note is None
+
+    def test_order_comparisons_are_not_chased(self):
+        # u >= 1, u <= 1 pins semantically but not through equality atoms;
+        # the propagation deliberately stays syntactic over ``=`` chains.
+        query = parse_query("q(s, sum(u)) :- r(s, u), u >= 1, u <= 1")
+        assert aggregation_pin(query) is None
+
+    def test_conflicting_constants_bail(self):
+        # u = 1, u = 2 makes the disjunct unsatisfiable; the rewriting stays
+        # out of that corner instead of picking one of the constants.
+        query = parse_query("q(s, sum(u)) :- p(s, a), u = 1, u = 2")
+        assert aggregation_pin(query) is None
+
+
+class TestCCountGeneralization:
+    def test_same_multiplier_pair_decides_equivalent(self):
+        first = parse_query("q(s, sum(u)) :- r(s, a), u = 2")
+        second = parse_query("q(s, sum(v)) :- r(s, a), v = w, w = 2")
+        result = are_equivalent(first, second)
+        assert result.verdict is Verdict.EQUIVALENT
+        assert "sum→2·count normalization" in result.method
+
+    def test_not_equivalent_witness_reports_original_values(self):
+        first = parse_query("q(s, sum(u)) :- r(s, a), u = 2")
+        second = parse_query("q(s, sum(v)) :- r(s, a), not t(s), v = 2")
+        result = are_equivalent(first, second, seed=3)
+        assert result.verdict is Verdict.NOT_EQUIVALENT
+        assert "sum→2·count normalization" in result.method
+        witness = result.counterexample
+        assert witness is not None and witness.database is not None
+        from repro.engine import evaluate
+
+        assert witness.left_result == evaluate(first, witness.database)
+        assert witness.right_result == evaluate(second, witness.database)
+        assert witness.left_result != witness.right_result
+
+    def test_mixed_multipliers_stay_unrewritten(self):
+        # sum pinned to 2 against a plain count: 2·count1 ≡ count2 does not
+        # reduce to count1 ≡ count2, so no verdict would transfer.
+        first = parse_query("q(s, sum(u)) :- r(s, a), u = 2")
+        second = parse_query("q(s, count()) :- r(s, a), not t(s)")
+        assert pair_count_reduction(first, second) is None
+        result = are_equivalent(first, second, counterexample_trials=60)
+        assert "normalization" not in result.method
+
+    def test_zero_pin_is_excluded(self):
+        # A sum pinned to 0 returns 0 for every group: equivalence
+        # degenerates to group-key agreement, strictly weaker than count
+        # equivalence, so the rewrite would not be verdict-preserving.
+        query = parse_query("q(s, sum(u)) :- r(s, a), u = 0")
+        assert aggregation_pin(query) is None
+        assert sum_count_reduction(query) is None
+
+    def test_disjuncts_with_different_constants_bail(self):
+        query = parse_query("q(s, sum(u)) :- r(s, a), u = 2 ; r(s, a), u = 3")
+        assert aggregation_pin(query) is None
+
+    def test_public_normalize_only_rewrites_multiplier_one(self):
+        query = parse_query("q(s, sum(u)) :- r(s, a), u = z, z = 2")
+        rewritten, note = normalize_for_dispatch(query)
+        assert rewritten is query and note is None
+        reduction = sum_count_reduction(query)
+        assert reduction is not None
+        _, multiplier, reduction_note = reduction
+        assert multiplier == Constant(2) and "2·count" in reduction_note
+
+
+# ----------------------------------------------------------------------
+# Sweep planner
+# ----------------------------------------------------------------------
+def _audit_catalog():
+    return {
+        "audit_a": parse_query(
+            "audit(s, count()) :- returns(s, p), premium_store(s) ; "
+            "returns(s, p), discontinued(p)"
+        ),
+        "audit_b": parse_query(
+            "audit(s, count()) :- premium_store(s), returns(s, p) ; "
+            "returns(s, p), discontinued(p)"
+        ),
+        "audit_c": parse_query(
+            "audit(x, count()) :- returns(x, y), premium_store(x) ; "
+            "returns(x, y), discontinued(y)"
+        ),
+        "audit_dup": parse_query(
+            "audit(s, count()) :- returns(s, p), premium_store(s) ; "
+            "returns(s, p), premium_store(s) ; returns(s, p), discontinued(p)"
+        ),
+        "audit_keep": parse_query(
+            "audit(s, count()) :- returns(s, p), premium_store(s) ; returns(s, p)"
+        ),
+    }
+
+
+def _mixed_catalog():
+    # The disjunctive unit queries keep their variable count low (τ = 3):
+    # their count forms retain the pin comparisons, which disables the
+    # shared-Γ caches and makes every ordering its own class — the τ = 4
+    # variant costs seconds per cell for no extra coverage (the chain pin is
+    # exercised by the quasilinear cells of the analyst catalog and the unit
+    # tests above).
+    catalog = _audit_catalog()
+    catalog.update(
+        {
+            "unit_sum": parse_query(
+                "u(sum(w)) :- premium_store(s), w = 1 ; discontinued(s), w = 1"
+            ),
+            "unit_sum2": parse_query(
+                "u(sum(w)) :- premium_store(s), 1 = w ; discontinued(s), w = 1"
+            ),
+            "unit_count": parse_query("u(count()) :- premium_store(s) ; discontinued(s)"),
+            "plain_a": parse_query("q(s) :- returns(s, p), premium_store(s)"),
+            "plain_b": parse_query("q(x) :- returns(x, y), premium_store(x)"),
+            "plain_swap": parse_query("q(y) :- premium_store(y), returns(y, w)"),
+            "plain_c": parse_query("q(s) :- returns(s, p)"),
+            "largest": parse_query("m(s, max(a)) :- returns(s, p), premium_store(s), a = p"),
+        }
+    )
+    return catalog
+
+
+class TestSweepPlanner:
+    def test_partition_covers_every_cell_exactly_once(self):
+        catalog = _mixed_catalog()
+        plan = plan_catalog_sweep(catalog, context=SharedBaseContext.from_catalog(catalog.values()))
+        names = sorted(catalog)
+        all_pairs = {
+            (a, b) for i, a in enumerate(names) for b in names[i + 1 :]
+        }
+        covered = list(plan.pair_path)
+        for group in plan.groups:
+            covered.extend(group.pairs)
+        assert sorted(covered) == sorted(all_pairs)
+        assert len(covered) == len(set(covered))
+
+    def test_plain_and_count_groups_are_formed(self):
+        catalog = _mixed_catalog()
+        plan = plan_catalog_sweep(catalog)
+        keys = {group.key[:2] for group in plan.groups}
+        assert ("plain",) in {key[:1] for key in keys}
+        assert any(key[0] == "agg" and key[1] == "count" for key in keys)
+
+    def test_quasilinear_and_mixed_shape_cells_stay_on_pair_path(self):
+        catalog = {
+            "lin_a": parse_query("q(s, count()) :- returns(s, p)"),
+            "lin_b": parse_query("q(x, count()) :- returns(x, y)"),
+            "plain": parse_query("q(s) :- returns(s, p)"),
+        }
+        plan = plan_catalog_sweep(catalog)
+        # Both aggregate cells are quasilinear-decidable, the mixed-shape
+        # cells are incomparable; nothing qualifies for a sweep, and the lone
+        # plain query has no partner.
+        assert plan.groups == []
+        assert len(plan.pair_path) == 3
+
+    def test_normalized_pairs_use_count_forms(self):
+        catalog = {
+            "unit_sum": parse_query(
+                "u(sum(w)) :- premium_store(s), w = v, v = 1 ; discontinued(s), w = 1"
+            ),
+            "unit_count": parse_query("u(count()) :- premium_store(s) ; discontinued(s)"),
+            "unit_count2": parse_query("u(count()) :- discontinued(s) ; premium_store(s)"),
+        }
+        plan = plan_catalog_sweep(catalog)
+        (group,) = plan.groups
+        assert group.queries["unit_sum"].aggregate.function == "count"
+        cell = group.cells[("unit_count", "unit_sum")]
+        assert cell.normalized and "normalization" in cell.method
+
+    def test_single_cell_groups_fall_back_to_pair_tasks(self):
+        catalog = {
+            "audit_a": _audit_catalog()["audit_a"],
+            "audit_b": _audit_catalog()["audit_b"],
+        }
+        plan = plan_catalog_sweep(catalog)
+        assert plan.groups == []
+        assert plan.pair_path == [("audit_a", "audit_b")]
+
+    def test_groups_are_keyed_by_predicate_signature(self):
+        # audit queries (three predicates) and two-predicate unit queries in
+        # one count class: sweeping them together would enumerate subsets of
+        # the *union* vocabulary — exponentially worse than the pair path for
+        # the equivalent cells — so groups never mix signatures and the
+        # cross-signature cells stay on the pair path.
+        catalog = _audit_catalog()
+        catalog["unit_a"] = parse_query("u(count()) :- premium_store(s) ; discontinued(s)")
+        catalog["unit_b"] = parse_query("u(count()) :- discontinued(s) ; premium_store(s)")
+        catalog["unit_c"] = parse_query("u(count()) :- premium_store(x) ; discontinued(x)")
+        plan = plan_catalog_sweep(catalog)
+        for group in plan.groups:
+            signatures = {frozenset(query.predicates()) for query in group.queries.values()}
+            assert len(signatures) == 1
+        assert {"unit_a", "unit_b", "unit_c"} in [
+            set(group.queries) for group in plan.groups
+        ]
+        cross = [
+            pair
+            for pair in plan.pair_path
+            if frozenset(catalog[pair[0]].predicates())
+            != frozenset(catalog[pair[1]].predicates())
+        ]
+        assert cross  # cross-signature cells fell back to pair tasks
+        # A group whose own BASE blows the budget dissolves to pair tasks.
+        tiny = plan_catalog_sweep(catalog, max_subsets=1 << 4)
+        assert all(len(group.queries) <= 3 for group in tiny.groups)
+
+    def test_comparison_carrying_cells_keep_pair_local_bounds(self):
+        # Comparison-carrying pairs get no shared-Γ payoff, so their sweep
+        # groups are keyed by the exact (constants, τ) BASE recipe: every
+        # cell reports the same ``bound τ`` as the pair path instead of a
+        # group-max bound over a needlessly larger BASE.
+        catalog = {
+            "c1": parse_query("q(count()) :- r(a), a > 0 ; r(a), a < 0"),
+            "c2": parse_query("q(count()) :- r(a), a < 0 ; r(a), a > 0"),
+            "c3": parse_query("q(count()) :- r(a), r(c), a > 0 ; r(a), a < 0"),
+        }
+        swept = equivalence_matrix(catalog, sweep=True, seed=2, workers=1)
+        pairwise = equivalence_matrix(catalog, sweep=False, seed=2, workers=1)
+        for pair in swept:
+            assert swept[pair].verdict is pairwise[pair].verdict, pair
+            assert swept[pair].details == pairwise[pair].details, pair
+
+    def test_disjoint_vocabularies_never_share_a_sweep(self):
+        # Two equivalent pairs over disjoint vocabularies: a union sweep
+        # would pay 2^(|BASE_a| + |BASE_b|) subsets; the plan keeps them in
+        # separate groups whose combined work matches the pair path's.
+        catalog = {
+            "r1": parse_query("q(x) :- r(x, y), s(x)"),
+            "r2": parse_query("q(a) :- s(a), r(a, b)"),
+            "t1": parse_query("q(x) :- t(x, y), u(x)"),
+            "t2": parse_query("q(a) :- u(a), t(a, b)"),
+        }
+        plan = plan_catalog_sweep(catalog)
+        for group in plan.groups:
+            vocabularies = {
+                frozenset(query.predicates()) for query in group.queries.values()
+            }
+            assert len(vocabularies) == 1
+        swept = equivalence_matrix(catalog, sweep=True, seed=1)
+        pairwise = equivalence_matrix(catalog, sweep=False, seed=1)
+        for pair in swept:
+            assert swept[pair].verdict is pairwise[pair].verdict
+            total = swept[pair].report.subsets_examined if swept[pair].report else 0
+            # Nothing ever enumerates the 2^16-ish union space.
+            assert total < 2_000
+
+
+# ----------------------------------------------------------------------
+# sweep_equivalence (direct)
+# ----------------------------------------------------------------------
+class TestSweepEquivalence:
+    def test_unknown_pair_name_raises(self):
+        first = parse_query("q(count()) :- p(y)")
+        with pytest.raises(ReproError):
+            sweep_equivalence({"a": first}, [("a", "missing")], 1)
+
+    def test_budget_guard_raises(self):
+        first = parse_query("q(count()) :- p(y, z)")
+        second = parse_query("q(count()) :- p(z, y)")
+        with pytest.raises(SearchSpaceBudgetError):
+            sweep_equivalence({"a": first, "b": second}, [("a", "b")], 8)
+
+    def test_mixed_shapes_raise(self):
+        catalog = {
+            "agg": parse_query("q(count()) :- p(y)"),
+            "plain": parse_query("q(y) :- p(y)"),
+        }
+        with pytest.raises(ReproError):
+            sweep_equivalence(catalog, [("agg", "plain")], 1)
+
+    def test_matches_pair_local_reports(self):
+        from repro.core.bounded import local_equivalence
+
+        catalog = {
+            "a": parse_query("q(count()) :- p(y), not r(y)"),
+            "b": parse_query("q(count()) :- not r(y), p(y)"),
+            "c": parse_query("q(count()) :- p(y)"),
+        }
+        pairs = [("a", "b"), ("a", "c"), ("b", "c")]
+        reports = sweep_equivalence(catalog, pairs, 2, seed=5, workers=1)
+        for name_a, name_b in pairs:
+            reference = local_equivalence(catalog[name_a], catalog[name_b], seed=0)
+            report = reports[(name_a, name_b)]
+            assert report.equivalent == reference.equivalent
+            if not report.equivalent:
+                assert report.counterexample.database == reference.counterexample.database
+
+
+# ----------------------------------------------------------------------
+# Group-comparison kernels
+# ----------------------------------------------------------------------
+class TestComparisonKernels:
+    def test_equal_groups_intern_to_one_index(self):
+        clear_symbolic_caches()
+        from repro.core.bounded import build_base
+        from repro.orderings.complete_orderings import enumerate_complete_orderings
+        from repro.domains import Domain
+
+        first = parse_query("q(count()) :- p(y), r(y)")
+        second = parse_query("q(count()) :- r(y), p(y)")
+        terms, base, fresh = build_base(first, second, 1)
+        ordering = next(iter(enumerate_complete_orderings(terms, Domain.RATIONALS)))
+        database = SymbolicDatabase(frozenset(base), ordering)
+        left = symbolic_group_index(first, database)
+        right = symbolic_group_index(second, database)
+        assert left is right  # interned: equal content, one object
+        comparison = compare_symbolic_groups(first, second, database)
+        assert comparison.keys_match and not comparison.residual
+
+    def test_key_mismatch_and_residual(self):
+        clear_symbolic_caches()
+        from repro.core.bounded import build_base
+        from repro.orderings.complete_orderings import enumerate_complete_orderings
+        from repro.domains import Domain
+
+        first = parse_query("q(x, sum(y)) :- p(x, y)")
+        second = parse_query("q(x, sum(y)) :- p(x, y) ; p(x, y)")
+        terms, base, fresh = build_base(first, second, 2)
+        ordering = next(iter(enumerate_complete_orderings(terms, Domain.RATIONALS)))
+        database = SymbolicDatabase(frozenset(base), ordering)
+        comparison = compare_symbolic_groups(first, second, database)
+        # Same keys, doubled bags: every group lands in the residual.
+        assert comparison.keys_match
+        assert comparison.residual
+        for _key, left_bag, right_bag in comparison.residual:
+            assert len(right_bag) == 2 * len(left_bag)
+
+
+# ----------------------------------------------------------------------
+# Differential: sweep vs pairwise, serial and parallel
+# ----------------------------------------------------------------------
+def _assert_cells_match(swept, pairwise, *, require_same_witness_db: bool):
+    assert set(swept) == set(pairwise)
+    for pair in swept:
+        sweep_cell, pair_cell = swept[pair], pairwise[pair]
+        assert sweep_cell.verdict is pair_cell.verdict, pair
+        assert sweep_cell.method == pair_cell.method, pair
+        assert (sweep_cell.counterexample is None) == (
+            pair_cell.counterexample is None
+        ), pair
+        if require_same_witness_db and sweep_cell.counterexample is not None:
+            assert (
+                sweep_cell.counterexample.database == pair_cell.counterexample.database
+            ), pair
+
+
+def _scenario_catalogs():
+    warehouse = build_warehouse(stores=2, products=3, sales_per_store=4, seed=3)
+    analyst = {
+        name: warehouse.queries[name]
+        for name in ("revenue_per_store", "revenue_per_store_alt", "largest_sale")
+    }
+    analyst["unit_sales"] = parse_query("units(s, sum(u)) :- sales(s, p, a), u = 1")
+    analyst["unit_sales_chain"] = parse_query(
+        "units(s, sum(u)) :- sales(s, p, a), u = z, z = 1"
+    )
+    analyst["sales_count"] = parse_query("units(s, count()) :- sales(s, p, a)")
+    analyst["plain"] = parse_query("q(s) :- sales(s, p, a)")
+    return {
+        "analyst": analyst,
+        "audit": _audit_catalog(),
+        "mixed": _mixed_catalog(),
+    }
+
+
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("name", ["analyst", "audit", "mixed"])
+    def test_sweep_matches_pairwise_serial(self, name):
+        catalog = _scenario_catalogs()[name]
+        swept = equivalence_matrix(
+            catalog, workers=1, seed=5, counterexample_trials=60, sweep=True
+        )
+        pairwise = equivalence_matrix(
+            catalog, workers=1, seed=5, counterexample_trials=60, sweep=False
+        )
+        # The audit/mixed sweeps share the pair BASEs (same vocabulary and
+        # shared context), so even the witness databases coincide — except
+        # when REPRO_WORKERS forces the cells' *inner* bounded searches onto
+        # a pool, where early-exit races may pick a different (equally
+        # valid) witness.
+        _assert_cells_match(
+            swept, pairwise, require_same_witness_db=default_workers() == 1
+        )
+
+    @pytest.mark.parametrize("name", ["audit", "mixed"])
+    def test_sweep_matches_pairwise_two_workers(self, name):
+        catalog = _scenario_catalogs()[name]
+        swept = equivalence_matrix(
+            catalog, workers=2, seed=5, counterexample_trials=60, sweep=True
+        )
+        pairwise = equivalence_matrix(
+            catalog, workers=1, seed=5, counterexample_trials=60, sweep=False
+        )
+        # Parallel sweeps keep verdicts and methods; under early-exit races
+        # a different (equally valid) witness may be chosen.
+        _assert_cells_match(swept, pairwise, require_same_witness_db=False)
+
+    def test_sweep_is_seed_reproducible(self):
+        # workers=1 keeps the matrix serial, but the cells' *inner* bounded
+        # searches still honour REPRO_WORKERS; under a pool, early-exit
+        # cancellation may pick a different (equally valid) witness between
+        # runs, so exact witness equality is only asserted when the whole
+        # stack is serial.
+        catalog = _scenario_catalogs()["mixed"]
+        first = equivalence_matrix(
+            catalog, seed=9, counterexample_trials=60, sweep=True, workers=1
+        )
+        second = equivalence_matrix(
+            catalog, seed=9, counterexample_trials=60, sweep=True, workers=1
+        )
+        fully_serial = default_workers() == 1
+        for pair in first:
+            assert first[pair].verdict is second[pair].verdict
+            left, right = first[pair].counterexample, second[pair].counterexample
+            assert (left is None) == (right is None)
+            if left is not None and fully_serial:
+                assert left.database == right.database
+
+    def test_sweep_off_matches_pr2_shape(self):
+        # sweep=False must keep producing the task-path results (guard for
+        # the ablation/benchmark baseline).
+        catalog = _scenario_catalogs()["audit"]
+        results = equivalence_matrix(catalog, sweep=False, counterexample_trials=60)
+        assert len(results) == len(catalog) * (len(catalog) - 1) // 2
+
+
+# ----------------------------------------------------------------------
+# Cached structural hashes
+# ----------------------------------------------------------------------
+class TestCachedHashes:
+    def test_hash_is_cached_and_stable(self):
+        query = parse_query("q(s, count()) :- p(s, a), not r(s)")
+        first_hash = hash(query)
+        assert query.__dict__.get("_cached_hash") == first_hash
+        assert hash(query) == first_hash
+        twin = parse_query("q(s, count()) :- p(s, a), not r(s)")
+        assert hash(twin) == first_hash and twin == query
+
+    def test_pickle_strips_cached_hashes(self):
+        # Hash randomization is per interpreter: a cached hash that crossed a
+        # spawn boundary would corrupt dict lookups in the worker.  Pickling
+        # must drop the caches (fork inherits them validly either way).
+        import pickle
+
+        query = parse_query("q(s, count()) :- p(s, a)")
+        hash(query)
+        for disjunct in query.disjuncts:
+            hash(disjunct)
+            for literal in disjunct.literals:
+                hash(literal)
+        clone = pickle.loads(pickle.dumps(query))
+        assert "_cached_hash" not in clone.__dict__
+        assert all(
+            "_cached_hash" not in disjunct.__dict__ for disjunct in clone.disjuncts
+        )
+        assert clone == query and hash(clone) == hash(query)
+
+
+# ----------------------------------------------------------------------
+# REPRO_WORKERS hygiene
+# ----------------------------------------------------------------------
+class TestWorkersEnvironment:
+    def test_malformed_value_warns_and_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "two")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS='two'"):
+            assert default_workers() == 1
+
+    def test_valid_and_missing_values_do_not_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_workers() == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_workers() == 1
