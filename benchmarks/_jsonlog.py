@@ -1,0 +1,33 @@
+"""Machine-readable benchmark records (the ``--json PATH`` flag).
+
+Each benchmark script emits a list of ``{"name": ..., "wall_s": ...,
+"speedup": ...}`` objects — one per headline measurement — so a perf
+trajectory can be tracked across PRs by collecting the files CI (or a
+developer) writes per run.  ``speedup`` is relative to the record's stated
+baseline (1.0 for the baselines themselves).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+
+def json_record(name: str, wall_s: float, speedup: Optional[float]) -> dict:
+    """One benchmark record; ``speedup`` may be None when no baseline applies."""
+    return {
+        "name": name,
+        "wall_s": round(float(wall_s), 6),
+        "speedup": None if speedup is None else round(float(speedup), 3),
+    }
+
+
+def write_json_records(path: str, records: Sequence[dict]) -> None:
+    """Write the records as a JSON array (one file per benchmark run)."""
+    for record in records:
+        missing = {"name", "wall_s", "speedup"} - set(record)
+        if missing:
+            raise ValueError(f"benchmark record {record!r} lacks keys: {sorted(missing)}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(list(records), handle, indent=2)
+        handle.write("\n")

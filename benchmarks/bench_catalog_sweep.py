@@ -183,12 +183,31 @@ def main() -> int:
     parser.add_argument(
         "--quick", action="store_true", help="small catalog + relaxed floor (CI smoke)"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write {name, wall_s, speedup} records to PATH"
+    )
     arguments = parser.parse_args()
     quick = arguments.quick or QUICK
     floor = _floor(quick)
     result = run_benchmark(quick)
     for line in _render(result):
         print(line)
+    if arguments.json:
+        from _jsonlog import json_record, write_json_records
+
+        write_json_records(
+            arguments.json,
+            [
+                json_record("catalog_sweep.pairwise", result["pairwise"], 1.0),
+                json_record("catalog_sweep.sweep_serial", result["sweep_serial"], result["speedup"]),
+                json_record(
+                    "catalog_sweep.sweep_workers2",
+                    result["sweep_parallel"],
+                    result["pairwise"] / result["sweep_parallel"],
+                ),
+            ],
+        )
+        print(f"(json records written to {arguments.json})")
     if result["speedup"] < floor:
         print(f"FAIL: speedup {result['speedup']:.2f}x below the {floor}x floor")
         return 1

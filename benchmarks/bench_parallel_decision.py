@@ -218,12 +218,35 @@ def main() -> int:
     parser.add_argument(
         "--quick", action="store_true", help="small instance + relaxed floor (CI smoke)"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write {name, wall_s, speedup} records to PATH"
+    )
     arguments = parser.parse_args()
     quick = arguments.quick or QUICK
     floor = _floor(quick)
     result = run_benchmark(quick)
     for line in _render(result):
         print(line)
+    if arguments.json:
+        from _jsonlog import json_record, write_json_records
+
+        baseline_total = result["baseline_bounded"] + result["baseline_matrix"]
+        parallel_total = result["parallel_bounded"] + result["parallel_matrix"]
+        write_json_records(
+            arguments.json,
+            [
+                json_record("parallel_decision.baseline_total", baseline_total, 1.0),
+                json_record(
+                    "parallel_decision.parallel_total", parallel_total, result["speedup_total"]
+                ),
+                json_record(
+                    "parallel_decision.bounded_parallel",
+                    result["parallel_bounded"],
+                    result["speedup_bounded"],
+                ),
+            ],
+        )
+        print(f"(json records written to {arguments.json})")
     if result["speedup_total"] < floor:
         print(f"FAIL: speedup {result['speedup_total']:.2f}x below the {floor}x floor")
         return 1

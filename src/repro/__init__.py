@@ -65,12 +65,21 @@ from .errors import (
     MalformedQueryError,
     QuerySyntaxError,
     ReproError,
+    RewritingError,
     SearchSpaceBudgetError,
     UndecidableError,
     UnsafeQueryError,
     UnsupportedAggregateError,
 )
 from .orderings import CompleteOrdering, ComparisonSystem, enumerate_complete_orderings
+from .rewriting import (
+    RewritingEngine,
+    RewritingReport,
+    View,
+    ViewCatalog,
+    rewrite,
+    unfold_query,
+)
 
 __version__ = "1.0.0"
 
@@ -94,12 +103,17 @@ __all__ = [
     "QuerySyntaxError",
     "RelationalAtom",
     "ReproError",
+    "RewritingEngine",
+    "RewritingError",
+    "RewritingReport",
     "SearchSpaceBudgetError",
     "UndecidableError",
     "UnsafeQueryError",
     "UnsupportedAggregateError",
     "Variable",
     "Verdict",
+    "View",
+    "ViewCatalog",
     "are_equivalent",
     "are_isomorphic",
     "bag_set_equivalent",
@@ -120,6 +134,8 @@ __all__ = [
     "parse_query",
     "quasilinear_equivalent",
     "reduce_query",
+    "rewrite",
     "set_equivalent",
+    "unfold_query",
     "__version__",
 ]

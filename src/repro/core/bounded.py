@@ -692,6 +692,7 @@ def sweep_equivalence(
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     warm_prefix: int = DEFAULT_SWEEP_WARM_PREFIX,
     extra_constants: Iterable[Constant] = (),
+    ship: str = "ranges",
 ) -> dict[tuple[str, str], EquivalenceReport]:
     """Decide ``first ≡_N second`` for every assigned pair of a sub-catalog
     with **one** subset/ordering enumeration (the single-sweep variant of
@@ -709,7 +710,10 @@ def sweep_equivalence(
     same derived seeds as the pairwise matrix, so witnesses agree with the
     pair path wherever the enumerations align.  ``workers > 1`` shards the
     subset stream across processes after a serial *warm prefix* that
-    pre-warms the shared caches the forked workers inherit.
+    pre-warms the shared caches the forked workers inherit; ``ship``
+    selects the shard payload (``"ranges"``, the default, ships ``(start,
+    count)`` positions and re-enumerates per worker; ``"rows"`` ships the
+    materialized subset rows — the differential reference).
     """
     catalog = dict(queries)
     pair_list = [tuple(pair) for pair in pairs]
@@ -807,6 +811,7 @@ def sweep_equivalence(
                     workers=workers,
                     executor=executor,
                     seed=seed,
+                    ship=ship,
                 )
         else:
             check_serial(subset_list)

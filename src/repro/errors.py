@@ -69,3 +69,10 @@ class UnsatisfiableOrderingError(ReproError):
 class SearchSpaceBudgetError(ReproError):
     """Raised when a bounded-equivalence (or catalog-sweep) search space
     exceeds the caller's ``max_subsets`` budget."""
+
+
+class RewritingError(ReproError):
+    """Raised when a view definition, a candidate rewriting, or an unfolding
+    request falls outside the fragment the rewriting subsystem handles
+    soundly (e.g. a negated view atom, or a duplicate-sensitive aggregate
+    over a duplicating view)."""

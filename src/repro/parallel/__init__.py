@@ -28,12 +28,16 @@ from .executor import (
     resolve_executor,
 )
 from .tasks import (
+    SHIP_RANGES,
+    SHIP_ROWS,
     BoundedCheckOutcome,
     BoundedCheckTask,
     PairCheckTask,
     PairOutcome,
     SweepCheckOutcome,
     SweepCheckTask,
+    SweepRangeCheckTask,
+    block_cyclic_ranges,
     bounded_check_tasks,
     derive_pair_seed,
     merge_bounded_outcomes,
@@ -43,7 +47,9 @@ from .tasks import (
     run_bounded_check_task,
     run_pair_task,
     run_sweep_check_task,
+    run_sweep_range_task,
     sweep_check_tasks,
+    sweep_range_tasks,
 )
 
 __all__ = [
@@ -52,9 +58,13 @@ __all__ = [
     "PairCheckTask",
     "PairOutcome",
     "ProcessExecutor",
+    "SHIP_RANGES",
+    "SHIP_ROWS",
     "SerialExecutor",
     "SweepCheckOutcome",
     "SweepCheckTask",
+    "SweepRangeCheckTask",
+    "block_cyclic_ranges",
     "bounded_check_tasks",
     "cancellation_requested",
     "default_workers",
@@ -68,5 +78,7 @@ __all__ = [
     "run_bounded_check_task",
     "run_pair_task",
     "run_sweep_check_task",
+    "run_sweep_range_task",
     "sweep_check_tasks",
+    "sweep_range_tasks",
 ]

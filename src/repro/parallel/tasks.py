@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..core.bounded import (
     BoundedRunSetup,
@@ -95,7 +95,7 @@ class BoundedCheckOutcome:
 #: shards it executes.  Setups are heavy (materialized BASE + orderings), so
 #: the memo is capped: on overflow the oldest entries are evicted (dicts
 #: iterate insertion-first).
-_SETUP_MEMO: dict[tuple, "BoundedRunSetup | SweepRunSetup"] = {}
+_SETUP_MEMO: dict[tuple, object] = {}
 _SETUP_MEMO_LIMIT = 64
 
 
@@ -277,7 +277,7 @@ class SweepCheckOutcome:
     cancelled: bool = False
 
 
-def _sweep_setup_for(task: SweepCheckTask) -> SweepRunSetup:
+def _sweep_setup_for(task: "SweepCheckTask | SweepRangeCheckTask") -> SweepRunSetup:
     return _memoized_setup(
         ("sweep",) + task._setup_key(),
         lambda: prepare_sweep_run(
@@ -286,10 +286,41 @@ def _sweep_setup_for(task: SweepCheckTask) -> SweepRunSetup:
     )
 
 
-def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
-    """Execute one sweep shard.  A pair a shard has seen fail is not checked
-    again within the shard; the shard stops once every assigned pair failed
-    locally or the pool's cancellation event fires."""
+def _sweep_range_rows(
+    task: "SweepRangeCheckTask",
+) -> "Iterator[tuple[int, tuple[int, ...]]]":
+    """The positioned subset rows a range shard owns, re-enumerated locally.
+
+    The canonical enumeration is a pure function of the setup (str-sorted
+    BASE, orderly generation), so every worker derives exactly the stream the
+    parent numbered — the whole point of shipping ``(start, count)`` ranges
+    instead of materialized subset rows.  The stream is *not* materialized:
+    one pass yields only the positions inside the shard's (ascending) ranges
+    and stops after the last of them, keeping worker memory O(1) in the
+    stream length instead of trading the O(subsets) pickle for O(subsets)
+    RSS per process.
+    """
+    from ..core.bounded import CanonicalSubsetEnumerator
+
+    setup = _sweep_setup_for(task)
+    spans = iter(task.ranges)
+    span = next(spans, None)
+    last_needed = task.ranges[-1][0] + task.ranges[-1][1] - 1 if task.ranges else -1
+    for position, indices in enumerate(CanonicalSubsetEnumerator(setup.base, setup.fresh)):
+        if position > last_needed or span is None:
+            return
+        while span is not None and position >= span[0] + span[1]:
+            span = next(spans, None)
+        if span is not None and span[0] <= position:
+            yield position, indices
+
+
+def _run_sweep_rows(
+    task: "SweepCheckTask | SweepRangeCheckTask",
+    rows: "Iterable[tuple[int, tuple[int, ...]]]",
+) -> SweepCheckOutcome:
+    """The shared shard loop: check positioned subset rows until every
+    assigned pair failed locally or the pool's cancellation event fires."""
     setup = _sweep_setup_for(task)
     stats = CheckStats()
     pair_seeds = {
@@ -298,7 +329,7 @@ def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
     open_pairs = list(task.pairs)
     found: list[tuple[tuple[str, str], tuple[int, int], Counterexample]] = []
     base = setup.base
-    for position, indices in task.chunk:
+    for position, indices in rows:
         if not open_pairs:
             break
         if cancellation_requested():
@@ -311,6 +342,106 @@ def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
             found.append((pair, (position, ordering_position), counterexample))
             open_pairs.remove(pair)
     return SweepCheckOutcome(task.index, stats, tuple(found))
+
+
+def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
+    """Execute one row-shipping sweep shard."""
+    return _run_sweep_rows(task, task.chunk)
+
+
+# ----------------------------------------------------------------------
+# Range-shipping sweep shards
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepRangeCheckTask:
+    """A sweep shard described by ``(start, count)`` ranges of the canonical
+    enumeration instead of materialized subset rows.
+
+    Workers re-derive the subset stream locally in one streaming pass
+    (:func:`_sweep_range_rows`), so the pickle carries a handful of integers
+    per shard where a :class:`SweepCheckTask` carries every subset's index
+    tuple — for huge BASEs the difference is the whole task payload.  The
+    trade is redundant enumeration (each worker walks the stream up to its
+    last assigned position), so range mode builds exactly one shard per
+    worker with finer-grained blocks inside; ranges are assigned
+    block-cyclically, preserving the round-robin size-profile balance of the
+    row-shipping path at block granularity.
+    """
+
+    index: int
+    queries: tuple[tuple[str, Query], ...]
+    pairs: tuple[tuple[str, str], ...]
+    bound: int
+    domain: Domain
+    semantics: str
+    extra_constants: tuple[Constant, ...]
+    seed: Optional[int]
+    ranges: tuple[tuple[int, int], ...]
+
+    def _setup_key(self) -> tuple:
+        return (
+            self.queries,
+            self.bound,
+            self.domain,
+            self.semantics,
+            self.extra_constants,
+        )
+
+
+def run_sweep_range_task(task: SweepRangeCheckTask) -> SweepCheckOutcome:
+    """Execute one range shard: re-enumerate the canonical stream locally and
+    check the positions the ranges select."""
+    return _run_sweep_rows(task, _sweep_range_rows(task))
+
+
+def block_cyclic_ranges(
+    start: int, count: int, shards: int, blocks_per_shard: int = 16
+) -> list[tuple[tuple[int, int], ...]]:
+    """Partition ``[start, start + count)`` into per-shard ``(start, count)``
+    range tuples: the span is cut into ``shards * blocks_per_shard`` blocks
+    dealt round-robin, so every shard sees the same mix of cheap (small,
+    early) and expensive (large, late) subsets at block granularity."""
+    if count <= 0 or shards <= 0:
+        return []
+    shards = min(shards, count)
+    block_count = min(count, shards * max(1, blocks_per_shard))
+    size, remainder = divmod(count, block_count)
+    ranges: list[list[tuple[int, int]]] = [[] for _ in range(shards)]
+    position = start
+    for block in range(block_count):
+        length = size + (1 if block < remainder else 0)
+        ranges[block % shards].append((position, length))
+        position += length
+    return [tuple(blocks) for blocks in ranges if blocks]
+
+
+def sweep_range_tasks(
+    queries: tuple[tuple[str, Query], ...],
+    pairs: tuple[tuple[str, str], ...],
+    bound: int,
+    domain: Domain,
+    semantics: str,
+    extra_constants: tuple[Constant, ...],
+    start: int,
+    count: int,
+    shards: int,
+    seed: Optional[int] = None,
+) -> list[SweepRangeCheckTask]:
+    """Build range shards covering positions ``[start, start + count)``."""
+    return [
+        SweepRangeCheckTask(
+            index=index,
+            queries=queries,
+            pairs=pairs,
+            bound=bound,
+            domain=domain,
+            semantics=semantics,
+            extra_constants=extra_constants,
+            seed=seed,
+            ranges=ranges,
+        )
+        for index, ranges in enumerate(block_cyclic_ranges(start, count, shards))
+    ]
 
 
 def sweep_check_tasks(
@@ -347,6 +478,11 @@ def sweep_check_tasks(
     ]
 
 
+#: How sweep shards receive their share of the subset stream.
+SHIP_RANGES = "ranges"  # (start, count) ranges + per-worker re-enumeration
+SHIP_ROWS = "rows"  # materialized subset index tuples (the PR 3 path)
+
+
 def parallel_sweep_search(
     *,
     queries: tuple[tuple[str, Query], ...],
@@ -361,10 +497,18 @@ def parallel_sweep_search(
     workers: Optional[int],
     executor: Optional[Executor],
     seed: Optional[int],
+    ship: str = SHIP_RANGES,
 ) -> None:
     """Shard a single-sweep catalog search across an executor and fold the
     outcomes into the per-pair reports (called by
     :func:`repro.core.bounded.sweep_equivalence` after the warm prefix).
+
+    ``ship`` selects the shard payload: ``"ranges"`` (default) ships
+    ``(start, count)`` positions and lets every worker re-enumerate the
+    canonical stream locally — the pickle stays O(shards) however large BASE
+    grows; ``"rows"`` ships the materialized subset index tuples (kept as the
+    differential reference).  Both decompose the identical positioned stream,
+    so their merges are interchangeable.
 
     The merge is deterministic: for every pair the counterexample at the
     smallest global (subset, ordering) position wins, so verdicts never
@@ -373,10 +517,28 @@ def parallel_sweep_search(
     enumeration.
     """
     executor = resolve_executor(workers, executor)
-    shard_count = max(1, getattr(executor, "workers", 1)) * 4
-    tasks = sweep_check_tasks(
-        queries, pairs, bound, domain, semantics, extra_constants, subsets, shard_count, seed
-    )
+    pool_size = max(1, getattr(executor, "workers", 1))
+    if ship == SHIP_RANGES:
+        # The stream handed over is a contiguous positioned suffix (the warm
+        # prefix was consumed by the parent), so ranges describe it exactly.
+        # One shard per worker: a range worker re-enumerates the stream up to
+        # its last assigned position, so extra shards would multiply that
+        # redundant enumeration; load balance comes from the finer
+        # block-cyclic blocks inside each shard instead.
+        start = subsets[0][0] if subsets else 0
+        tasks = sweep_range_tasks(
+            queries, pairs, bound, domain, semantics, extra_constants,
+            start, len(subsets), pool_size, seed,
+        )
+        run = run_sweep_range_task
+    elif ship == SHIP_ROWS:
+        tasks = sweep_check_tasks(
+            queries, pairs, bound, domain, semantics, extra_constants, subsets,
+            pool_size * 4, seed,
+        )
+        run = run_sweep_check_task
+    else:
+        raise ValueError(f"unknown sweep shipping mode {ship!r}")
     remaining = set(pairs)
 
     def all_settled(outcome: SweepCheckOutcome) -> bool:
@@ -384,7 +546,7 @@ def parallel_sweep_search(
             remaining.discard(pair)
         return not remaining
 
-    outcomes = executor.run(run_sweep_check_task, tasks, stop=all_settled)
+    outcomes = executor.run(run, tasks, stop=all_settled)
     best: dict[tuple[str, str], tuple[tuple[int, int], Counterexample]] = {}
     cancelled = 0
     for outcome in outcomes:

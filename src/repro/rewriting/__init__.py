@@ -1,0 +1,44 @@
+"""View-based rewriting: synthesize aggregate rewritings over materialized
+views and verify them with the equivalence engine.
+
+The data-warehouse motivation of the paper, made executable: given a query
+over base relations and a catalog of materialized views,
+:func:`~repro.rewriting.engine.rewrite` proposes candidate rewritings over
+the views, unfolds each candidate back to base predicates
+(:mod:`~repro.rewriting.unfold`, the faithfulness-critical step), proves or
+refutes ``query ≡ unfolding`` with the decision procedures of
+:mod:`repro.core`, and ranks the proven-safe rewritings by estimated cost
+over the view extents.
+"""
+
+from .candidates import (
+    CandidateRewriting,
+    RejectedCandidate,
+    generate_candidates,
+)
+from .engine import (
+    RewritingEngine,
+    RewritingReport,
+    VerifiedRewriting,
+    as_view_catalog,
+    estimated_cost,
+    rewrite,
+)
+from .unfold import unfold_query, uses_views
+from .views import View, ViewCatalog
+
+__all__ = [
+    "CandidateRewriting",
+    "RejectedCandidate",
+    "RewritingEngine",
+    "RewritingReport",
+    "VerifiedRewriting",
+    "View",
+    "ViewCatalog",
+    "as_view_catalog",
+    "estimated_cost",
+    "generate_candidates",
+    "rewrite",
+    "unfold_query",
+    "uses_views",
+]

@@ -1,0 +1,380 @@
+"""Candidate rewritings of a query over a catalog of materialized views.
+
+Generation is deliberately three-layered:
+
+1. **This module** proposes candidates by matching view definitions against
+   the query body (homomorphism search) and applying the aggregate pairing
+   rules — cheap syntactic work that may propose near-misses.
+2. :mod:`repro.rewriting.unfold` refuses any candidate whose unfolding would
+   not be faithful (duplicating views under aggregates, joins on partial
+   aggregates, unsupported pairings); such candidates become
+   :class:`RejectedCandidate` records with the unfolder's reason.
+3. The equivalence engine (:mod:`repro.core.equivalence`) is the final
+   oracle: only candidates whose unfolding it proves EQUIVALENT to the query
+   are ever emitted as safe (:mod:`repro.rewriting.engine`).
+
+A candidate replaces a covered part of one disjunct by a single view atom
+(partial cover, conjunctive queries), or the whole disjunctive body by one
+view atom (total cover).  The aggregate pairings generated here mirror the
+threading rules of the unfolder:
+
+* ``sum``/``max``/``min`` queries over a view aggregating the same function
+  of the same variable — the candidate reads the view's aggregate column;
+* ``count()`` queries over a ``count()`` view — the candidate *sums* the
+  view's per-group counts;
+* ``cntd`` queries over any aggregate view grouped by the counted variables —
+  the candidate *counts the view's rows* (one per group);
+* any query over non-aggregate views — the candidate keeps its aggregate;
+  the unfolder enforces duplicate-freeness when one is present.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..datalog.atoms import Comparison, RelationalAtom
+from ..datalog.conditions import Condition
+from ..datalog.queries import AggregateTerm, Query
+from ..datalog.terms import Constant, Term, Variable
+from ..errors import MalformedQueryError, RewritingError, UnsafeQueryError
+from .unfold import THREADED_PAIRINGS, unfold_query
+from .views import View, ViewCatalog
+
+
+@dataclass(frozen=True)
+class CandidateRewriting:
+    """A candidate rewriting: the query over views plus its unfolding."""
+
+    name: str
+    query: Query
+    unfolded: Query
+    view_names: tuple[str, ...]
+    description: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.query}"
+
+
+@dataclass(frozen=True)
+class RejectedCandidate:
+    """A candidate ruled out before verification, with the reason."""
+
+    view_name: str
+    reason: str
+    query: Optional[Query] = None
+
+    def __str__(self) -> str:
+        return f"[{self.view_name}] {self.reason}"
+
+
+#: Cap on homomorphisms explored per (view, disjunct) — candidate generation
+#: is a heuristic front end, not an exhaustive rewriting enumeration.
+MAX_HOMOMORPHISMS = 64
+
+
+def generate_candidates(
+    query: Query,
+    catalog: ViewCatalog,
+    *,
+    limit: int = 32,
+) -> tuple[list[CandidateRewriting], list[RejectedCandidate]]:
+    """Propose candidate rewritings of ``query`` over the catalog's views.
+
+    Returns ``(candidates, rejected)``: syntactically plausible candidates
+    whose unfolding is faithful, and the candidates ruled out by the
+    unfolder's safety conditions (with reasons).  Neither list says anything
+    about *equivalence* — that is the engine's job.
+    """
+    candidates: list[CandidateRewriting] = []
+    rejected: list[RejectedCandidate] = []
+    seen: set[str] = set()
+    for view in catalog:
+        for candidate_query, description in _view_candidates(query, view):
+            if len(candidates) >= limit:
+                return candidates, rejected
+            key = str(candidate_query)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                unfolded = unfold_query(candidate_query, catalog)
+            except RewritingError as error:
+                rejected.append(RejectedCandidate(view.name, str(error), candidate_query))
+                continue
+            candidates.append(
+                CandidateRewriting(
+                    name=f"{query.name}__via_{view.name}_{len(candidates) + 1}",
+                    query=candidate_query,
+                    unfolded=unfolded,
+                    view_names=(view.name,),
+                    description=description,
+                )
+            )
+    return candidates, rejected
+
+
+# ----------------------------------------------------------------------
+# Per-view candidate construction
+# ----------------------------------------------------------------------
+def _view_candidates(query: Query, view: View) -> Iterator[tuple[Query, str]]:
+    if query.is_conjunctive and view.query.is_conjunctive:
+        yield from _partial_cover_candidates(query, view)
+    elif not view.is_aggregate and len(query.disjuncts) == len(view.query.disjuncts) > 1:
+        yield from _total_cover_candidates(query, view)
+
+
+def _fresh_output_variable(query: Query) -> Variable:
+    taken = {variable.name for variable in query.variables()}
+    for index in itertools.count():
+        name = f"t{index}" if index else "t"
+        if name not in taken:
+            return Variable(name)
+
+
+def _partial_cover_candidates(query: Query, view: View) -> Iterator[tuple[Query, str]]:
+    """Candidates replacing a covered sub-body of a conjunctive query by one
+    view atom (total cover is the empty-residual special case)."""
+    disjunct = query.disjuncts[0]
+    aggregation = query.aggregation_variables()
+    output = _fresh_output_variable(query)
+    for mapping, covered in itertools.islice(
+        _body_homomorphisms(view.query.disjuncts[0], disjunct), MAX_HOMOMORPHISMS
+    ):
+        if not covered:
+            continue
+        if any(head_var not in mapping for head_var in view.head_variables):
+            # A head variable the homomorphism leaves unbound (it occurs only
+            # in the view's comparisons) would leak the view's namespace.
+            continue
+        residual = tuple(
+            literal
+            for position, literal in enumerate(disjunct.literals)
+            if position not in covered
+        )
+        covered_vars: set[Variable] = set()
+        for position in covered:
+            covered_vars |= disjunct.literals[position].variables()
+        exported = {
+            mapping.get(head_var)
+            for head_var in view.head_variables
+            if isinstance(mapping.get(head_var), Variable)
+        }
+        pairing = _aggregate_pairing(query, view, mapping, output)
+        if pairing is None:
+            continue
+        candidate_aggregate, absorbed, mode = pairing
+        residual_vars: set[Variable] = set()
+        for literal in residual:
+            residual_vars |= literal.variables()
+        needed = (
+            (query.grouping_variables() | set(aggregation) | residual_vars) - absorbed
+        ) & covered_vars
+        if not needed <= exported:
+            continue
+        arguments: list[Term] = [mapping[head_var] for head_var in view.head_variables]
+        if view.is_aggregate:
+            arguments.append(output)
+        atom = RelationalAtom(view.name, tuple(arguments))
+        if mode == "count-rows":
+            extras = {
+                argument
+                for argument in arguments[:-1]
+                if isinstance(argument, Variable)
+                and argument not in query.grouping_variables()
+            }
+            if extras != set(aggregation):
+                continue
+        body = Condition((atom,) + residual)
+        try:
+            candidate = Query(query.name, query.head_terms, (body,), candidate_aggregate)
+        except (MalformedQueryError, UnsafeQueryError):
+            continue
+        yield candidate, _describe(view, mode, residual)
+
+
+def _aggregate_pairing(
+    query: Query, view: View, mapping: dict[Variable, Term], output: Variable
+) -> Optional[tuple[Optional[AggregateTerm], set[Variable], str]]:
+    """How the candidate's head relates to the view: the candidate aggregate,
+    the query variables the view absorbs, and a mode tag for the unfolder's
+    benefit.  ``None`` means no supported pairing for this homomorphism.
+    ``output`` is the variable that will read the view's aggregate column."""
+    if not query.is_aggregate:
+        if view.is_aggregate:
+            return None
+        return None, set(), "plain"
+    function = query.aggregate.function
+    aggregation = query.aggregation_variables()
+    if not view.is_aggregate:
+        # The candidate keeps its own aggregate; duplicate-freeness is the
+        # unfolder's check (a duplicating view must be *visibly* rejected).
+        return query.aggregate, set(), "keep"
+    view_function = view.query.aggregate.function
+    view_aggregation = view.query.aggregation_variables()
+    threaded = THREADED_PAIRINGS.get((function, view_function))
+    if threaded is not None:
+        if view_function == "count":
+            # sum over a count view only matches a count-shaped query; the
+            # pinned-sum case is the dispatcher's normalization, not ours.
+            return None
+        if len(aggregation) != 1 or mapping.get(view_aggregation[0]) != aggregation[0]:
+            return None
+        return AggregateTerm(function, (output,)), {aggregation[0]}, "threaded"
+    if function == "count" and view_function == "count" and not aggregation:
+        return AggregateTerm("sum", (output,)), set(), "sum-of-counts"
+    if function == "cntd":
+        return AggregateTerm("count", ()), set(aggregation), "count-rows"
+    return None
+
+
+def _describe(view: View, mode: str, residual: Sequence) -> str:
+    tail = f" + {len(residual)} residual literal(s)" if residual else ""
+    if mode == "threaded":
+        return f"{view.query.aggregate.function} threaded through view {view.name}{tail}"
+    if mode == "sum-of-counts":
+        return f"sum of per-group counts of view {view.name}{tail}"
+    if mode == "count-rows":
+        return f"count of {view.name} rows (one per group){tail}"
+    return f"covered by view {view.name}{tail}"
+
+
+def _total_cover_candidates(query: Query, view: View) -> Iterator[tuple[Query, str]]:
+    """Candidates replacing a whole disjunctive body by one atom of a
+    disjunctive (non-aggregate) view: every query disjunct must be fully
+    covered by a distinct view disjunct, with one consistent argument list."""
+    for permutation in itertools.permutations(range(len(query.disjuncts))):
+        arguments = _match_total_cover(query, view, permutation)
+        if arguments is None:
+            continue
+        needed = query.grouping_variables() | set(query.aggregation_variables())
+        if not needed <= {term for term in arguments if isinstance(term, Variable)}:
+            continue
+        atom = RelationalAtom(view.name, arguments)
+        try:
+            candidate = Query(
+                query.name, query.head_terms, (Condition((atom,)),), query.aggregate
+            )
+        except (MalformedQueryError, UnsafeQueryError):
+            continue
+        yield candidate, f"whole body covered by disjunctive view {view.name}"
+        return  # one total cover per view is plenty
+
+
+def _match_total_cover(
+    query: Query, view: View, permutation: Sequence[int]
+) -> Optional[tuple[Term, ...]]:
+    """Match view disjunct ``i`` onto query disjunct ``permutation[i]``,
+    requiring full bidirectional cover and one shared argument list."""
+    arguments: Optional[tuple[Term, ...]] = None
+    for view_index, query_index in enumerate(permutation):
+        view_condition = view.query.disjuncts[view_index]
+        target = query.disjuncts[query_index]
+        relational_positions = {
+            position
+            for position, literal in enumerate(target.literals)
+            if isinstance(literal, RelationalAtom)
+        }
+        matched = None
+        for mapping, covered in itertools.islice(
+            _body_homomorphisms(view_condition, target, require_all_comparisons=True),
+            MAX_HOMOMORPHISMS,
+        ):
+            if covered != relational_positions:
+                continue
+            candidate_arguments = tuple(
+                mapping.get(head_var, head_var) for head_var in view.head_variables
+            )
+            if arguments is None or candidate_arguments == arguments:
+                matched = candidate_arguments
+                break
+        if matched is None:
+            return None
+        arguments = matched
+    return arguments
+
+
+# ----------------------------------------------------------------------
+# Condition-level homomorphism search
+# ----------------------------------------------------------------------
+def _body_homomorphisms(
+    source: Condition,
+    target: Condition,
+    *,
+    require_all_comparisons: bool = False,
+) -> Iterator[tuple[dict[Variable, Term], frozenset[int]]]:
+    """Homomorphisms from a view body into (part of) a target condition.
+
+    Yields ``(mapping, covered)``: a substitution of the source's variables
+    by target terms under which every source relational atom is a target
+    literal of the same polarity, plus the positions of the covered target
+    literals.  Source comparisons must map onto target comparisons (up to
+    operand flipping) — the view must not filter more than the query does.
+    With ``require_all_comparisons`` the converse is also required (used by
+    total covers, where nothing of the target may be left behind).
+    """
+    positives = [
+        (position, literal)
+        for position, literal in enumerate(target.literals)
+        if isinstance(literal, RelationalAtom) and literal.is_positive
+    ]
+    negatives = [
+        (position, literal)
+        for position, literal in enumerate(target.literals)
+        if isinstance(literal, RelationalAtom) and literal.negated
+    ]
+    target_comparisons = {
+        _comparison_key(literal) for literal in target.comparisons
+    } | {_comparison_key(literal.flip()) for literal in target.comparisons}
+
+    source_atoms = list(source.positive_atoms) + list(source.negated_atoms)
+    pools = [
+        negatives if atom.negated else positives for atom in source_atoms
+    ]
+
+    def search(
+        index: int, mapping: dict[Variable, Term], covered: frozenset[int]
+    ) -> Iterator[tuple[dict[Variable, Term], frozenset[int]]]:
+        if index == len(source_atoms):
+            images = set()
+            for comparison in source.comparisons:
+                image = comparison.substitute(mapping)
+                if _comparison_key(image) not in target_comparisons:
+                    return
+                images.add(_comparison_key(image))
+                images.add(_comparison_key(image.flip()))
+            if require_all_comparisons and not target_comparisons <= images:
+                return
+            yield dict(mapping), covered
+            return
+        atom = source_atoms[index]
+        for position, literal in pools[index]:
+            extended = _unify_atom(atom, literal, mapping)
+            if extended is not None:
+                yield from search(index + 1, extended, covered | {position})
+
+    yield from search(0, {}, frozenset())
+
+
+def _unify_atom(
+    atom: RelationalAtom, image: RelationalAtom, mapping: dict[Variable, Term]
+) -> Optional[dict[Variable, Term]]:
+    if atom.predicate != image.predicate or atom.arity != image.arity:
+        return None
+    extended = dict(mapping)
+    for argument, target_term in zip(atom.arguments, image.arguments):
+        if isinstance(argument, Constant):
+            if argument != target_term:
+                return None
+            continue
+        bound = extended.get(argument)
+        if bound is None:
+            extended[argument] = target_term
+        elif bound != target_term:
+            return None
+    return extended
+
+
+def _comparison_key(comparison: Comparison) -> tuple:
+    return (comparison.left, comparison.op, comparison.right)

@@ -1,0 +1,302 @@
+"""The rewriting engine: synthesize, verify, and rank view rewritings.
+
+``rewrite(query, views)`` is the subsystem's front door.  It
+
+1. generates candidate rewritings over the views
+   (:mod:`repro.rewriting.candidates`),
+2. **verifies** each candidate by unfolding it to base predicates and
+   deciding ``query ≡ unfolded`` with the strongest applicable procedure —
+   the whole verification batch is planned with
+   :func:`repro.workloads.batch.plan_catalog_sweep`, so same-dispatch-class
+   candidates share one subset/ordering sweep, and everything (sweep shards
+   and per-pair cells alike) fans out over :mod:`repro.parallel` workers —
+3. partitions the candidates into *safe* (proved EQUIVALENT), *not
+   equivalent* (with a witness database where one was found), *unverified*
+   (UNKNOWN or over the search-space budget) and *rejected* (ruled out
+   before verification by the unfolder's faithfulness conditions), and
+4. ranks the safe rewritings by estimated evaluation cost against the
+   materialized view extents when a database is supplied.
+
+Only candidates in the *safe* bucket may be substituted for the query: the
+equivalence engine proved they agree with it over **every** database, which
+is the paper's criterion for a sound warehouse rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..core.equivalence import EquivalenceResult, Verdict
+from ..datalog.database import Database
+from ..datalog.queries import Query
+from ..domains import Domain
+from ..errors import RewritingError, SearchSpaceBudgetError
+from ..parallel.executor import Executor
+from ..parallel.tasks import PairOutcome, run_pair_task
+from .candidates import CandidateRewriting, RejectedCandidate, generate_candidates
+from .unfold import unfold_query
+from .views import View, ViewCatalog
+
+#: Reserved catalog name for the query under rewriting in verification
+#: batches; candidate names always contain ``__via_``, so it cannot clash.
+TARGET_NAME = "__target__"
+
+#: Anything accepted where a view catalog is expected.
+ViewsLike = Union[ViewCatalog, Iterable[View], Mapping[str, Query]]
+
+
+def as_view_catalog(views: ViewsLike) -> ViewCatalog:
+    """Coerce ``views`` into a :class:`ViewCatalog`."""
+    if isinstance(views, ViewCatalog):
+        return views
+    if isinstance(views, Mapping):
+        return ViewCatalog.from_mapping(views)
+    return ViewCatalog(views)
+
+
+def estimated_cost(query: Query, database: Database) -> int:
+    """A naive join-size upper bound: per disjunct, the product of the sizes
+    of the positive atoms' relations (the worst case a nested-loop join can
+    enumerate), summed over disjuncts.  Crude, but it orders a fact-table
+    scan far above a pre-aggregated view probe — which is exactly the
+    decision the ranking has to make."""
+    total = 0
+    for disjunct in query.disjuncts:
+        cost = 1
+        for atom in disjunct.positive_atoms:
+            cost *= max(1, len(database.relation(atom.predicate)))
+        total += cost
+    return total
+
+
+@dataclass
+class VerifiedRewriting:
+    """A candidate together with its verification verdict (and, when a
+    database was supplied, its estimated cost over the materialized views)."""
+
+    candidate: CandidateRewriting
+    result: EquivalenceResult
+    estimated_cost: Optional[int] = None
+
+    @property
+    def is_safe(self) -> bool:
+        return self.result.verdict is Verdict.EQUIVALENT
+
+    def __str__(self) -> str:
+        cost = f", est. cost {self.estimated_cost}" if self.estimated_cost is not None else ""
+        return f"{self.candidate.name}: {self.result.verdict.value} [{self.result.method}]{cost}"
+
+
+@dataclass
+class RewritingReport:
+    """The outcome of :func:`rewrite` for one query."""
+
+    query: Query
+    safe: list[VerifiedRewriting] = field(default_factory=list)
+    not_equivalent: list[VerifiedRewriting] = field(default_factory=list)
+    unverified: list[VerifiedRewriting] = field(default_factory=list)
+    rejected: list[RejectedCandidate] = field(default_factory=list)
+    direct_cost: Optional[int] = None
+
+    @property
+    def best(self) -> Optional[VerifiedRewriting]:
+        """The cheapest safe rewriting (the first, after ranking)."""
+        return self.safe[0] if self.safe else None
+
+    def __str__(self) -> str:
+        lines = [f"rewritings of {self.query.head_string()}:"]
+        for verified in self.safe:
+            lines.append(f"  SAFE {verified}")
+        for verified in self.not_equivalent:
+            lines.append(f"  UNSAFE {verified}")
+        for verified in self.unverified:
+            lines.append(f"  UNVERIFIED {verified}")
+        for rejection in self.rejected:
+            lines.append(f"  REJECTED {rejection}")
+        return "\n".join(lines)
+
+
+def _run_pair_task_guarded(task) -> PairOutcome:
+    """Pair-task runner that degrades a blown search-space budget to an
+    UNVERIFIED verdict instead of aborting the whole batch (one oversized
+    candidate must not take down its siblings)."""
+    try:
+        return run_pair_task(task)
+    except SearchSpaceBudgetError as error:
+        return PairOutcome(
+            task.index,
+            task.name_a,
+            task.name_b,
+            EquivalenceResult(
+                Verdict.UNKNOWN,
+                method="search-space budget exceeded",
+                domain=task.domain,
+                details=str(error),
+            ),
+        )
+
+
+class RewritingEngine:
+    """Synthesis + verification of view rewritings for one view catalog."""
+
+    def __init__(
+        self,
+        views: ViewsLike,
+        *,
+        domain: Domain = Domain.RATIONALS,
+        max_subsets: int = 2_000_000,
+        counterexample_trials: int = 400,
+    ):
+        self.views = as_view_catalog(views)
+        self.domain = domain
+        self.max_subsets = max_subsets
+        self.counterexample_trials = counterexample_trials
+
+    # ------------------------------------------------------------------
+    # Candidate synthesis
+    # ------------------------------------------------------------------
+    def candidates(
+        self, query: Query, limit: int = 32
+    ) -> tuple[list[CandidateRewriting], list[RejectedCandidate]]:
+        """Generate (unverified) candidates and the pre-verification
+        rejections for ``query``."""
+        if set(query.predicates()) & set(self.views.names):
+            raise RewritingError(
+                f"query {query.name!r} already mentions a view predicate; "
+                "rewrite() expects a query over base relations"
+            )
+        return generate_candidates(query, self.views, limit=limit)
+
+    def make_candidate(
+        self, query: Query, candidate_query: Query, name: Optional[str] = None
+    ) -> CandidateRewriting:
+        """Wrap a hand-written candidate (a query over view predicates) for
+        verification, unfolding it through the catalog."""
+        unfolded = unfold_query(candidate_query, self.views)
+        used = tuple(
+            sorted(set(candidate_query.predicates()) & set(self.views.names))
+        )
+        return CandidateRewriting(
+            name=name or f"{query.name}__via_{'_'.join(used) or 'manual'}",
+            query=candidate_query,
+            unfolded=unfolded,
+            view_names=used,
+            description="user-supplied candidate",
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        query: Query,
+        candidates: Sequence[CandidateRewriting],
+        *,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        seed: Optional[int] = None,
+    ) -> list[VerifiedRewriting]:
+        """Decide ``query ≡ unfold(candidate)`` for every candidate.
+
+        The (target, candidate) cells are decided exactly like an equivalence
+        matrix restricted to one row (:func:`repro.workloads.batch.decide_pairs`
+        with ``pairs=`` the row): :func:`plan_catalog_sweep` groups cells the
+        dispatcher would decide by the bounded procedure into single-sweep
+        groups (one subset/ordering enumeration per group), and the leftover
+        cells run as parallel pair tasks through the full dispatcher — with
+        budget-blown cells degraded to UNKNOWN instead of aborting the batch.
+        """
+        from ..workloads.batch import decide_pairs
+
+        if not candidates:
+            return []
+        catalog: dict[str, Query] = {TARGET_NAME: query}
+        for candidate in candidates:
+            if candidate.name in catalog:
+                raise RewritingError(f"duplicate candidate name {candidate.name!r}")
+            catalog[candidate.name] = candidate.unfolded
+        wanted = [
+            tuple(sorted((TARGET_NAME, candidate.name))) for candidate in candidates
+        ]
+        results = decide_pairs(
+            catalog,
+            wanted,
+            domain=self.domain,
+            counterexample_trials=self.counterexample_trials,
+            max_subsets=self.max_subsets,
+            workers=workers,
+            executor=executor,
+            seed=seed,
+            pair_runner=_run_pair_task_guarded,
+        )
+        verified: list[VerifiedRewriting] = []
+        for candidate in candidates:
+            pair = tuple(sorted((TARGET_NAME, candidate.name)))
+            verified.append(VerifiedRewriting(candidate, results[pair]))
+        return verified
+
+    # ------------------------------------------------------------------
+    # The full pipeline
+    # ------------------------------------------------------------------
+    def rewrite(
+        self,
+        query: Query,
+        *,
+        database: Optional[Database] = None,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        seed: Optional[int] = None,
+        limit: int = 32,
+    ) -> RewritingReport:
+        """Synthesize, verify, and rank rewritings of ``query``.
+
+        With ``database`` the safe rewritings are ranked by estimated cost
+        over the materialized view extents (cheapest first) and the report
+        records the direct fact-table cost for comparison; without one the
+        generation order is kept.
+        """
+        candidates, rejected = self.candidates(query, limit=limit)
+        verified = self.verify(
+            query, candidates, workers=workers, executor=executor, seed=seed
+        )
+        report = RewritingReport(query=query, rejected=rejected)
+        for outcome in verified:
+            if outcome.is_safe:
+                report.safe.append(outcome)
+            elif outcome.result.verdict is Verdict.NOT_EQUIVALENT:
+                report.not_equivalent.append(outcome)
+            else:
+                report.unverified.append(outcome)
+        if database is not None:
+            materialized = self.views.materialize(database)
+            report.direct_cost = estimated_cost(query, database)
+            for outcome in report.safe:
+                outcome.estimated_cost = estimated_cost(outcome.candidate.query, materialized)
+            report.safe.sort(
+                key=lambda outcome: (outcome.estimated_cost, outcome.candidate.name)
+            )
+        return report
+
+
+def rewrite(
+    query: Query,
+    views: ViewsLike,
+    *,
+    database: Optional[Database] = None,
+    workers: Optional[int] = None,
+    seed: Optional[int] = None,
+    domain: Domain = Domain.RATIONALS,
+    max_subsets: int = 2_000_000,
+    limit: int = 32,
+) -> RewritingReport:
+    """Synthesize and verify rewritings of ``query`` over materialized views.
+
+    The one-shot form of :class:`RewritingEngine`: every emitted safe
+    rewriting has been proved equivalent to ``query`` over every database by
+    the equivalence engine; ``workers=N`` fans the verification out over N
+    processes (``None`` honours ``REPRO_WORKERS``)."""
+    engine = RewritingEngine(views, domain=domain, max_subsets=max_subsets)
+    return engine.rewrite(
+        query, database=database, workers=workers, seed=seed, limit=limit
+    )

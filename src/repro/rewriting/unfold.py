@@ -1,0 +1,362 @@
+"""Capture-avoiding view unfolding.
+
+``unfold_query(q, catalog)`` rewrites a query posed over view predicates into
+an equivalent query over base predicates only.  *Equivalent* here is a hard
+soundness contract the whole subsystem rests on:
+
+    for every base database D:
+        eval(q, catalog.materialize(D)) == eval(unfold_query(q, catalog), D)
+
+With that contract, checking ``unfold(candidate) ≡ Q`` through the
+equivalence engine proves that substituting the candidate (evaluated over the
+materialized views) for Q is safe over *every* database — the rewriting
+criterion of the paper's motivating warehouse scenario.
+
+Unfolding rules
+===============
+
+* A positive atom of a **non-aggregate view** is replaced by the view's body:
+  head variables are substituted by the atom's arguments, hidden (non-head)
+  variables are renamed fresh per occurrence, and a disjunctive view
+  distributes (one output disjunct per combination of view disjuncts).  Under
+  set semantics this is always faithful.  Under *aggregate* semantics it is
+  faithful only for **duplicate-free** views: a view that projects variables
+  away collapses several satisfying assignments onto one stored row, so its
+  unfolding multiplies assignments and changes every duplicate-sensitive
+  aggregate.  Aggregate queries over duplicating views are therefore
+  rejected — including ``cntd``, whose duplicate-insensitivity is not covered
+  by the multiplicity argument verified here (a conservative rejection:
+  soundness over completeness).
+
+* A positive atom of an **aggregate view** ``v(x̄, α(ȳ))`` carries the
+  aggregate value in its last argument, the *output term* ``t``.  The query's
+  own aggregate must *thread through* the view aggregate; the supported
+  pairings and their unfoldings are
+
+  ====================  =====================  ================================
+  query aggregate       view aggregate         unfolded aggregate
+  ====================  =====================  ================================
+  ``sum(t)``            ``sum(y)``             ``sum(t)`` with ``y ↦ t``
+  ``sum(t)``            ``count()``            ``count()``  (Σ of group counts)
+  ``max(t)``            ``max(y)``             ``max(t)`` with ``y ↦ t``
+  ``min(t)``            ``min(y)``             ``min(t)`` with ``y ↦ t``
+  ``count()``           any aggregate          ``cntd(z̄)`` over the atom's
+                                               non-grouping variables z̄
+  ====================  =====================  ================================
+
+  The first four are the multiplicity-threading identities (sum of group sums
+  is the total sum, sum of group counts is the total count, max of group
+  maxima is the total max); they are faithful because, for every fixed
+  assignment of the remaining literals, the view atom contributes its group's
+  *entire* bag — which requires the output term to be a variable occurring
+  **nowhere else** in the query (a filter or join on a partial aggregate has
+  no base-level counterpart).  The last row counts view rows: one row per
+  group, so ``count()`` over an aggregate view is ``cntd`` of the group-key
+  variables that are not grouping variables of the query; faithfulness
+  additionally requires that the remaining literals introduce no variables of
+  their own (each view row must join in at most one way).
+
+Anything else — negated view atoms, joins on output terms, unsupported
+aggregate pairings — raises :class:`~repro.errors.RewritingError` with a
+message naming the violated condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from ..datalog.atoms import RelationalAtom
+from ..datalog.conditions import Condition
+from ..datalog.queries import AggregateTerm, Query
+from ..datalog.terms import Term, Variable
+from ..errors import MalformedQueryError, RewritingError, UnsafeQueryError
+from .views import View, ViewCatalog
+
+#: Aggregate pairings (query function, view function) threaded by unfolding,
+#: mapped to the resulting function of the unfolded query.  ``count`` over an
+#: aggregate view is handled separately (it rewrites to ``cntd``).
+THREADED_PAIRINGS: dict[tuple[str, str], str] = {
+    ("sum", "sum"): "sum",
+    ("sum", "count"): "count",
+    ("max", "max"): "max",
+    ("min", "min"): "min",
+}
+
+
+class _FreshNames:
+    """Allocate variable names unused anywhere in the query being unfolded."""
+
+    def __init__(self, taken: Iterable[str]):
+        self._taken = set(taken)
+        self._counter = itertools.count()
+
+    def variable(self, hint: str = "v") -> Variable:
+        while True:
+            candidate = f"_{hint}{next(self._counter)}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return Variable(candidate)
+
+
+def uses_views(query: Query, catalog: ViewCatalog) -> bool:
+    """Whether the query mentions any view predicate of the catalog."""
+    return any(predicate in catalog for predicate in query.predicates())
+
+
+def unfold_query(query: Query, catalog: ViewCatalog) -> Query:
+    """Unfold every view atom of ``query`` into base predicates (see the
+    module docstring for the faithfulness rules).  Queries without view atoms
+    are returned unchanged."""
+    if not uses_views(query, catalog):
+        return query
+    fresh = _FreshNames(variable.name for variable in query.variables())
+    disjuncts: list[Condition] = []
+    aggregate: Optional[AggregateTerm] = query.aggregate
+    aggregate_decided = False
+    for index, disjunct in enumerate(query.disjuncts):
+        expansions, disjunct_aggregate = _unfold_disjunct(query, index, disjunct, catalog, fresh)
+        if query.is_aggregate:
+            if not aggregate_decided:
+                aggregate = disjunct_aggregate
+                aggregate_decided = True
+            elif disjunct_aggregate != aggregate:
+                raise RewritingError(
+                    f"disjuncts of {query.name!r} thread the aggregate through views "
+                    f"inconsistently ({disjunct_aggregate} vs {aggregate}); every "
+                    "disjunct must use the same pairing"
+                )
+        disjuncts.extend(expansions)
+    try:
+        return Query(query.name, query.head_terms, tuple(disjuncts), aggregate)
+    except (MalformedQueryError, UnsafeQueryError) as error:
+        # Safety net for the documented contract: any unfolding this module
+        # fails to rule out explicitly still surfaces as a RewritingError.
+        raise RewritingError(
+            f"unfolding {query.name!r} produced a malformed query ({error}); "
+            "the candidate is outside the faithful fragment"
+        ) from error
+
+
+def _unfold_disjunct(
+    query: Query,
+    disjunct_index: int,
+    disjunct: Condition,
+    catalog: ViewCatalog,
+    fresh: _FreshNames,
+) -> tuple[list[Condition], Optional[AggregateTerm]]:
+    """Unfold one disjunct; returns the expanded disjuncts (a disjunctive view
+    distributes) and the aggregate term of the unfolded query."""
+    aggregate_atom: Optional[RelationalAtom] = None
+    aggregate_view: Optional[View] = None
+    #: Per original literal: a list of replacement literal tuples (choices).
+    slots: list[list[tuple]] = []
+    for literal in disjunct.literals:
+        if not isinstance(literal, RelationalAtom) or literal.predicate not in catalog:
+            slots.append([(literal,)])
+            continue
+        view = catalog[literal.predicate]
+        if literal.negated:
+            raise RewritingError(
+                f"negated view atom not {literal.positive()} in {query.name!r}: the "
+                "negation of a view body is outside the paper's query class"
+            )
+        if literal.arity != view.arity:
+            raise RewritingError(
+                f"view atom {literal} has arity {literal.arity}, but view "
+                f"{view.name!r} stores {view.arity} columns"
+            )
+        if view.is_aggregate:
+            if aggregate_atom is not None:
+                raise RewritingError(
+                    f"disjunct {disjunct_index} of {query.name!r} joins two aggregate "
+                    "views; multiplicities cannot be threaded through both"
+                )
+            aggregate_atom, aggregate_view = literal, view
+            slots.append([])  # placeholder, filled below
+            continue
+        if query.is_aggregate and view.is_duplicating:
+            hidden = ", ".join(sorted(v.name for v in view.duplicating_variables()))
+            raise RewritingError(
+                f"aggregate query {query.name!r} uses duplicating view {view.name!r} "
+                f"(hidden variables: {hidden}); unfolding would multiply assignments, "
+                f"which is unsound for {query.aggregate.function} (and not "
+                "established here even for duplicate-insensitive functions)"
+            )
+        if query.is_aggregate and len(view.query.disjuncts) > 1:
+            # Γ counts an assignment once per disjunct it satisfies, but the
+            # stored view relation is the plain set-union of the disjuncts:
+            # overlapping disjuncts collapse, so unfolding (which resurrects
+            # the per-disjunct labels) is not faithful under aggregation.
+            raise RewritingError(
+                f"aggregate query {query.name!r} uses disjunctive view {view.name!r}; "
+                "the stored union loses per-disjunct multiplicities of overlapping "
+                "disjuncts, so the unfolding would over-count"
+            )
+        slots.append(
+            [_instantiate_view_disjunct(view, body, literal.arguments, fresh)
+             for body in view.query.disjuncts]
+        )
+
+    aggregate = query.aggregate
+    if aggregate_atom is not None:
+        assert aggregate_view is not None
+        replacement, aggregate = _thread_aggregate(
+            query, disjunct, aggregate_atom, aggregate_view, fresh
+        )
+        slot_index = list(disjunct.literals).index(aggregate_atom)
+        slots[slot_index] = [replacement]
+
+    expanded: list[Condition] = []
+    for choice in itertools.product(*slots):
+        literals = tuple(literal for group in choice for literal in group)
+        expanded.append(Condition(literals))
+    return expanded, aggregate
+
+
+def _instantiate_view_disjunct(
+    view: View,
+    body: Condition,
+    arguments: tuple[Term, ...],
+    fresh: _FreshNames,
+    extra: Optional[dict[Variable, Term]] = None,
+) -> tuple:
+    """One choice of view-body literals: head variables substituted by the
+    atom's arguments, hidden variables renamed fresh (capture avoidance)."""
+    mapping: dict[Variable, Term] = dict(zip(view.head_variables, arguments))
+    if extra:
+        mapping.update(extra)
+    for variable in sorted(body.variables(), key=lambda v: v.name):
+        if variable not in mapping:
+            mapping[variable] = fresh.variable(variable.name.lstrip("_"))
+    return tuple(literal.substitute(mapping) for literal in body.literals)
+
+
+def _thread_aggregate(
+    query: Query,
+    disjunct: Condition,
+    atom: RelationalAtom,
+    view: View,
+    fresh: _FreshNames,
+) -> tuple[tuple, Optional[AggregateTerm]]:
+    """Unfold the (single) aggregate-view atom of a disjunct; returns the
+    replacement literals and the aggregate term of the unfolded query."""
+    if not query.is_aggregate:
+        raise RewritingError(
+            f"non-aggregate query {query.name!r} reads the aggregate column of view "
+            f"{view.name!r}; a group's aggregate value has no base-level counterpart "
+            "outside an aggregate head"
+        )
+    output = atom.arguments[-1]
+    grouping_args = atom.arguments[:-1]
+    if not isinstance(output, Variable):
+        raise RewritingError(
+            f"the output column of {atom} must be read into a variable, not {output}"
+        )
+    occurrences = _occurrences(disjunct, output) - 1  # outside this atom's last slot
+    if output in grouping_args:
+        raise RewritingError(
+            f"view atom {atom} equates its output column with a grouping column; "
+            "the partial aggregate would constrain its own group key"
+        )
+    if output in query.head_terms:
+        raise RewritingError(
+            f"query {query.name!r} exports the partial-aggregate column {output} of "
+            f"view {view.name!r} in its head; a group's aggregate value has no "
+            "base-level counterpart outside an aggregate head"
+        )
+    if occurrences:
+        raise RewritingError(
+            f"output variable {output} of {atom} is joined or filtered elsewhere in "
+            f"{query.name!r}; conditions on partial aggregates cannot be unfolded"
+        )
+
+    query_function = query.aggregate.function
+    view_function = view.query.aggregate.function
+    view_aggregation = view.query.aggregation_variables()
+
+    if query_function == "count":
+        return _thread_count_over_groups(query, disjunct, atom, view, fresh)
+
+    threaded = THREADED_PAIRINGS.get((query_function, view_function))
+    if threaded is None:
+        raise RewritingError(
+            f"unsupported aggregate pairing: {query_function} over the "
+            f"{view_function} column of view {view.name!r}"
+        )
+    if query.aggregation_variables() != (output,):
+        raise RewritingError(
+            f"{query_function}({', '.join(str(v) for v in query.aggregation_variables())}) "
+            f"must aggregate exactly the output variable {output} of {atom}"
+        )
+    if len(view.query.disjuncts) != 1:
+        raise RewritingError(
+            f"aggregate view {view.name!r} has a disjunctive body; threading "
+            "multiplicities through a union of groupings is not supported"
+        )
+    extra: dict[Variable, Term] = {}
+    if view_function != "count":
+        # sum/sum, max/max, min/min: the view's aggregation variable becomes
+        # the query's — each group contributes its entire bag.
+        extra[view_aggregation[0]] = output
+    aggregate = AggregateTerm(threaded, (output,) if threaded != "count" else ())
+    replacement = _instantiate_view_disjunct(
+        view, view.query.disjuncts[0], grouping_args, fresh, extra
+    )
+    return replacement, aggregate
+
+
+def _thread_count_over_groups(
+    query: Query,
+    disjunct: Condition,
+    atom: RelationalAtom,
+    view: View,
+    fresh: _FreshNames,
+) -> tuple[tuple, Optional[AggregateTerm]]:
+    """``count()`` over an aggregate view counts the view's rows — one per
+    group — which unfolds to ``cntd`` of the atom's non-grouping variables."""
+    if len(view.query.disjuncts) != 1:
+        raise RewritingError(
+            f"aggregate view {view.name!r} has a disjunctive body; threading "
+            "multiplicities through a union of groupings is not supported"
+        )
+    grouping_args = atom.arguments[:-1]
+    query_grouping = query.grouping_variables()
+    extras: list[Variable] = []
+    for argument in grouping_args:
+        if isinstance(argument, Variable) and argument not in query_grouping:
+            if argument not in extras:
+                extras.append(argument)
+    if not extras:
+        raise RewritingError(
+            f"count() over {atom} counts at most one row per group key; no "
+            "group-identifying variable is left to count distinctly"
+        )
+    allowed = query_grouping | set(grouping_args) | {atom.arguments[-1]}
+    for literal in disjunct.literals:
+        if literal is atom:
+            continue
+        leaked = literal.variables() - allowed
+        if leaked:
+            names = ", ".join(sorted(v.name for v in leaked))
+            raise RewritingError(
+                f"count() over aggregate view {view.name!r} requires the remaining "
+                f"literals to introduce no variables of their own (found: {names}); "
+                "extra joins would multiply view rows"
+            )
+    aggregate = AggregateTerm("cntd", tuple(sorted(extras, key=lambda v: v.name)))
+    replacement = _instantiate_view_disjunct(
+        view, view.query.disjuncts[0], grouping_args, fresh
+    )
+    return replacement, aggregate
+
+
+def _occurrences(disjunct: Condition, variable: Variable) -> int:
+    """How many argument/operand slots of the disjunct hold ``variable``."""
+    count = 0
+    for literal in disjunct.literals:
+        if isinstance(literal, RelationalAtom):
+            count += sum(1 for argument in literal.arguments if argument == variable)
+        else:
+            count += sum(1 for operand in (literal.left, literal.right) if operand == variable)
+    return count

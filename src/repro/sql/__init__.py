@@ -4,18 +4,20 @@ the paper's query class (the data-warehouse motivation of the introduction)."""
 from .ast import (
     AggregateExpr,
     ColumnRef,
+    CreateViewStatement,
     Literal,
     NotExists,
     SelectStatement,
     SqlComparison,
     TableRef,
 )
-from .parser import parse_sql
+from .parser import parse_sql, parse_sql_statement
 from .translate import Schema, SqlTranslator, sql_to_query
 
 __all__ = [
     "AggregateExpr",
     "ColumnRef",
+    "CreateViewStatement",
     "Literal",
     "NotExists",
     "Schema",
@@ -24,5 +26,6 @@ __all__ = [
     "SqlTranslator",
     "TableRef",
     "parse_sql",
+    "parse_sql_statement",
     "sql_to_query",
 ]

@@ -93,6 +93,22 @@ class AggregateExpr:
         return f"{self.function.upper()}({prefix}{inner})"
 
 
+@dataclass(frozen=True)
+class CreateViewStatement:
+    """``CREATE VIEW name [(col, ...)] AS SELECT ...`` — a named-view
+    registration.  The optional column list names the stored columns; when
+    omitted, names are derived from the SELECT list (the aggregate column
+    gets ``<function>_<argument>`` or ``count_all``)."""
+
+    name: str
+    select: "SelectStatement"
+    columns: Optional[tuple[str, ...]] = None
+
+    def __str__(self) -> str:
+        columns = f" ({', '.join(self.columns)})" if self.columns else ""
+        return f"CREATE VIEW {self.name}{columns} AS {self.select}"
+
+
 @dataclass
 class SelectStatement:
     """A parsed SELECT statement."""

@@ -27,6 +27,7 @@ from ..errors import QuerySyntaxError
 from .ast import (
     AggregateExpr,
     ColumnRef,
+    CreateViewStatement,
     Literal,
     NotExists,
     Operand,
@@ -113,6 +114,44 @@ def parse_sql(text: str) -> SelectStatement:
         _, trailing, position = tokens.next()
         raise QuerySyntaxError(f"trailing input {trailing!r} after statement", tokens.text, position)
     return statement
+
+
+def parse_sql_statement(text: str):
+    """Parse a statement of the supported fragment: a SELECT statement or a
+    ``CREATE VIEW name [(col, ...)] AS SELECT ...`` registration."""
+    tokens = _Tokens(text.strip().rstrip(";"))
+    if tokens.peek_word() == "create":
+        statement: object = _parse_create_view(tokens)
+    else:
+        statement = _parse_select(tokens)
+    if not tokens.at_end():
+        _, trailing, position = tokens.next()
+        raise QuerySyntaxError(f"trailing input {trailing!r} after statement", tokens.text, position)
+    return statement
+
+
+def _parse_create_view(tokens: _Tokens) -> CreateViewStatement:
+    tokens.expect_word("create")
+    tokens.expect_word("view")
+    kind, name, position = tokens.next()
+    if kind != "name":
+        raise QuerySyntaxError(f"expected a view name, found {name!r}", tokens.text, position)
+    columns: Optional[tuple[str, ...]] = None
+    if tokens.accept_punct("("):
+        collected: list[str] = []
+        while True:
+            kind, column, position = tokens.next()
+            if kind != "name":
+                raise QuerySyntaxError(
+                    f"expected a column name, found {column!r}", tokens.text, position
+                )
+            collected.append(column.lower())
+            if not tokens.accept_punct(","):
+                break
+        tokens.expect_punct(")")
+        columns = tuple(collected)
+    tokens.expect_word("as")
+    return CreateViewStatement(name=name.lower(), select=_parse_select(tokens), columns=columns)
 
 
 def _parse_select(tokens: _Tokens) -> SelectStatement:

@@ -30,19 +30,27 @@ from ..datalog.atoms import Comparison, ComparisonOp, RelationalAtom
 from ..datalog.conditions import Condition
 from ..datalog.queries import AggregateTerm, Query
 from ..datalog.terms import Constant, Term, Variable
-from ..errors import QuerySyntaxError
-from .ast import ColumnRef, Literal, NotExists, SelectStatement, SqlComparison
-from .parser import parse_sql
+from ..errors import QuerySyntaxError, RewritingError
+from ..rewriting.views import View, ViewCatalog
+from .ast import ColumnRef, CreateViewStatement, Literal, NotExists, SelectStatement, SqlComparison
+from .parser import parse_sql, parse_sql_statement
 
 #: A database schema: table name -> ordered column names.
 Schema = Mapping[str, Sequence[str]]
 
 
 class SqlTranslator:
-    """Translate parsed SELECT statements into :class:`~repro.datalog.Query`."""
+    """Translate parsed SELECT statements into :class:`~repro.datalog.Query`.
+
+    ``CREATE VIEW`` statements (:meth:`register_view`) register a named view:
+    the view's columns join the schema, so later SELECTs can read the view
+    like a base table, and :meth:`view_catalog` hands the registered
+    definitions to the rewriting engine (:func:`repro.rewriting.rewrite`).
+    """
 
     def __init__(self, schema: Schema):
         self.schema = {table.lower(): [c.lower() for c in columns] for table, columns in schema.items()}
+        self.views: dict[str, View] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -83,6 +91,74 @@ class SqlTranslator:
         head_terms, aggregate = self._build_head(statement, columns_by_source, substitution)
         condition = Condition(tuple(literals) + tuple(negated_atoms) + tuple(comparisons))
         return Query(name, head_terms, (condition,), aggregate)
+
+    # ------------------------------------------------------------------
+    # Named views
+    # ------------------------------------------------------------------
+    def register_view(self, statement: Union[str, CreateViewStatement]) -> View:
+        """Register a ``CREATE VIEW`` statement: translate its SELECT, add the
+        view's columns to the schema (so later queries can read it like a
+        table), and record the definition for the rewriting engine."""
+        if isinstance(statement, str):
+            parsed = parse_sql_statement(statement)
+            if not isinstance(parsed, CreateViewStatement):
+                raise QuerySyntaxError("register_view expects a CREATE VIEW statement")
+            statement = parsed
+        if statement.name in self.schema:
+            raise QuerySyntaxError(
+                f"view name {statement.name!r} collides with an existing table or view"
+            )
+        query = self.translate(statement.select, name=statement.name)
+        try:
+            view = View(statement.name, query)
+        except RewritingError as error:
+            raise QuerySyntaxError(f"cannot register view {statement.name!r}: {error}") from error
+        columns = self._view_columns(statement, query, view)
+        self.schema[statement.name] = list(columns)
+        self.views[statement.name] = view
+        return view
+
+    def view_catalog(self) -> ViewCatalog:
+        """The registered views, as a catalog the rewriting engine accepts."""
+        return ViewCatalog(self.views.values())
+
+    def _view_columns(
+        self, statement: CreateViewStatement, query: Query, view: View
+    ) -> tuple[str, ...]:
+        select = statement.select
+        if select.group_by and select.columns:
+            # The stored row order follows the translated head, which follows
+            # GROUP BY; a SELECT list in a different order would silently
+            # mislabel the stored columns, so demand agreement.
+            select_order = [column.column for column in select.columns]
+            group_order = [column.column for column in select.group_by]
+            if select_order != group_order:
+                raise QuerySyntaxError(
+                    f"view {statement.name!r} stores columns in GROUP BY order "
+                    f"({', '.join(group_order)}); reorder the SELECT list "
+                    f"({', '.join(select_order)}) to match"
+                )
+        if statement.columns is not None:
+            if len(statement.columns) != view.arity:
+                raise QuerySyntaxError(
+                    f"view {statement.name!r} declares {len(statement.columns)} column(s) "
+                    f"but its SELECT produces {view.arity}"
+                )
+            if len(set(statement.columns)) != len(statement.columns):
+                raise QuerySyntaxError(f"view {statement.name!r} repeats a column name")
+            return statement.columns
+        columns = [column.column for column in (select.group_by or select.columns)]
+        if select.aggregate is not None:
+            argument = select.aggregate.argument
+            suffix = argument.column if argument is not None else "all"
+            columns.append(f"{select.aggregate.function}_{suffix}")
+        if len(set(columns)) != len(columns):
+            raise QuerySyntaxError(
+                f"derived column names for view {statement.name!r} are ambiguous "
+                f"({', '.join(columns)}); declare explicit names with "
+                "CREATE VIEW name (col, ...) AS ..."
+            )
+        return tuple(columns)
 
     # ------------------------------------------------------------------
     # Internals

@@ -5,13 +5,27 @@ from .batch import (
     SweepCell,
     SweepGroup,
     SweepPlan,
+    decide_pairs,
     equivalence_matrix,
     evaluate_many,
     format_equivalence_matrix,
     plan_catalog_sweep,
 )
-from .generators import QueryGenerator, QueryProfile, linear_chain_query, renamed_copy
-from .scenarios import WAREHOUSE_SCHEMA, WarehouseScenario, build_warehouse
+from .generators import (
+    QueryGenerator,
+    QueryProfile,
+    linear_chain_query,
+    random_warehouse_database,
+    renamed_copy,
+)
+from .scenarios import (
+    WAREHOUSE_SCHEMA,
+    WarehouseScenario,
+    WarehouseViewScenario,
+    build_view_scenario,
+    build_warehouse,
+    warehouse_views,
+)
 
 __all__ = [
     "QueryGenerator",
@@ -21,11 +35,16 @@ __all__ = [
     "SweepPlan",
     "WAREHOUSE_SCHEMA",
     "WarehouseScenario",
+    "WarehouseViewScenario",
+    "build_view_scenario",
     "build_warehouse",
+    "decide_pairs",
     "equivalence_matrix",
     "evaluate_many",
     "format_equivalence_matrix",
     "linear_chain_query",
     "plan_catalog_sweep",
+    "random_warehouse_database",
     "renamed_copy",
+    "warehouse_views",
 ]

@@ -61,6 +61,7 @@ from ..datalog.database import Database
 from ..datalog.queries import Query, term_size_of_pair
 from ..datalog.terms import Constant
 from ..domains import Domain
+from ..errors import ReproError
 from ..engine.evaluator import evaluate
 from ..parallel.executor import Executor, resolve_executor
 from ..parallel.tasks import pair_check_tasks, run_pair_task
@@ -126,6 +127,7 @@ def plan_catalog_sweep(
     *,
     normalize: bool = True,
     context: Optional[SharedBaseContext] = None,
+    pairs: Optional[Sequence[tuple[str, str]]] = None,
 ) -> SweepPlan:
     """Partition the matrix cells of a catalog into single-sweep groups and
     per-pair fallbacks.
@@ -156,54 +158,73 @@ def plan_catalog_sweep(
     the same budget guard raises, exactly as the pair path would).  Groups
     with fewer than two cells stay on the pair path — a sweep shares nothing
     there.
+
+    ``pairs`` restricts the plan to the given cells (each normalized to
+    ``name_a < name_b``); ``None`` plans every unordered pair.  Restricting
+    up front matters beyond saved classification work: group bounds and
+    shared constants are maxima over the group's member pairs, so planning
+    unwanted cells would also enlarge the BASE the wanted sweeps enumerate.
     """
     names = sorted(queries)
     plan = SweepPlan()
     grouped: dict[tuple, SweepGroup] = {}
     order: list[tuple] = []
 
-    for position, name_a in enumerate(names):
-        for name_b in names[position + 1 :]:
-            first, second = queries[name_a], queries[name_b]
-            pair = (name_a, name_b)
-            route = _route_pair(first, second, domain, normalize)
-            if route is None:
-                plan.pair_path.append(pair)
-                continue
-            key, effective_first, effective_second, cell = route
-            first_signature = frozenset(effective_first.predicates())
-            if first_signature != frozenset(effective_second.predicates()):
-                plan.pair_path.append(pair)
-                continue
-            key = key + (first_signature,)
-            pair_bound = term_size_of_pair(effective_first, effective_second)
-            if not _catalog_is_comparison_free((effective_first, effective_second)):
-                # Comparison-carrying pairs get no shared-Γ payoff and skip
-                # the context widening on the pair path, so a group-max
-                # bound would both break the ``bound τ`` parity with the
-                # pair path and enumerate a needlessly larger BASE.  Group
-                # them only with pairs of the exact same BASE recipe.
-                key = key + (
-                    frozenset(effective_first.constants() | effective_second.constants()),
-                    pair_bound,
+    if pairs is None:
+        cells = [
+            (name_a, name_b)
+            for position, name_a in enumerate(names)
+            for name_b in names[position + 1 :]
+        ]
+    else:
+        cells = sorted({tuple(sorted(pair)) for pair in pairs})
+        for name_a, name_b in cells:
+            if name_a not in queries or name_b not in queries:
+                raise ReproError(
+                    f"sweep plan pair ({name_a!r}, {name_b!r}) names an unknown query"
                 )
-            group = grouped.get(key)
-            if group is None:
-                group = SweepGroup(
-                    key=key,
-                    queries={},
-                    pairs=[],
-                    cells={},
-                    semantics=SET_SEMANTICS,
-                    bound=0,
-                )
-                grouped[key] = group
-                order.append(key)
-            group.queries[name_a] = effective_first
-            group.queries[name_b] = effective_second
-            group.pairs.append(pair)
-            group.cells[pair] = cell
-            group.bound = max(group.bound, term_size_of_pair(effective_first, effective_second))
+
+    for name_a, name_b in cells:
+        first, second = queries[name_a], queries[name_b]
+        pair = (name_a, name_b)
+        route = _route_pair(first, second, domain, normalize)
+        if route is None:
+            plan.pair_path.append(pair)
+            continue
+        key, effective_first, effective_second, cell = route
+        first_signature = frozenset(effective_first.predicates())
+        if first_signature != frozenset(effective_second.predicates()):
+            plan.pair_path.append(pair)
+            continue
+        key = key + (first_signature,)
+        pair_bound = term_size_of_pair(effective_first, effective_second)
+        if not _catalog_is_comparison_free((effective_first, effective_second)):
+            # Comparison-carrying pairs get no shared-Γ payoff and skip
+            # the context widening on the pair path, so a group-max
+            # bound would both break the ``bound τ`` parity with the
+            # pair path and enumerate a needlessly larger BASE.  Group
+            # them only with pairs of the exact same BASE recipe.
+            key = key + (
+                frozenset(effective_first.constants() | effective_second.constants()),
+                pair_bound,
+            )
+        group = grouped.get(key)
+        if group is None:
+            group = SweepGroup(
+                key=key,
+                queries={},
+                pairs=[],
+                cells={},
+                semantics=SET_SEMANTICS,
+                bound=0,
+            )
+            grouped[key] = group
+            order.append(key)
+        group.queries[name_a] = effective_first
+        group.queries[name_b] = effective_second
+        group.pairs.append(pair)
+        group.cells[pair] = cell
+        group.bound = max(group.bound, term_size_of_pair(effective_first, effective_second))
 
     for key in order:
         _finalize_group(grouped[key], context, max_subsets, plan)
@@ -322,6 +343,79 @@ def _sweep_cell_result(
 # ----------------------------------------------------------------------
 # The equivalence matrix
 # ----------------------------------------------------------------------
+def decide_pairs(
+    queries: Mapping[str, Query],
+    pairs: Optional[Sequence[tuple[str, str]]] = None,
+    domain: Domain = Domain.RATIONALS,
+    counterexample_trials: int = 400,
+    max_subsets: int = 2_000_000,
+    unknown_bound: Optional[int] = None,
+    *,
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    seed: Optional[int] = None,
+    normalize: bool = True,
+    shared_base: bool = True,
+    sweep: bool = True,
+    pair_runner=run_pair_task,
+) -> dict[tuple[str, str], EquivalenceResult]:
+    """Decide a set of catalog cells: the shared engine behind
+    :func:`equivalence_matrix` (all unordered pairs) and the rewriting
+    verifier (:meth:`repro.rewriting.engine.RewritingEngine.verify`, one row
+    of (target, candidate) cells).
+
+    ``pairs`` restricts the work to the given cells (``None`` means every
+    unordered pair); ``pair_runner`` lets callers wrap the per-cell task
+    execution (it must stay a picklable module-level function — the
+    rewriting engine uses this to degrade budget-blown cells to UNKNOWN
+    instead of aborting the batch).  Sweep-eligible cells are decided in
+    single-sweep groups; everything else runs through ``pair_runner``.
+    """
+    context = SharedBaseContext.from_catalog(queries.values()) if shared_base else None
+    results: dict[tuple[str, str], EquivalenceResult] = {}
+    pair_subset = pairs
+    if sweep:
+        plan = plan_catalog_sweep(
+            queries,
+            domain=domain,
+            max_subsets=max_subsets,
+            normalize=normalize,
+            context=context,
+            pairs=pairs,
+        )
+        for group in plan.groups:
+            reports = sweep_equivalence(
+                group.queries,
+                group.pairs,
+                group.bound,
+                domain=domain,
+                semantics=group.semantics,
+                max_subsets=max_subsets,
+                workers=workers,
+                executor=executor,
+                seed=seed,
+                extra_constants=group.extra_constants,
+            )
+            for pair, report in reports.items():
+                results[pair] = _sweep_cell_result(group, pair, report, domain, queries)
+        pair_subset = plan.pair_path
+    tasks = pair_check_tasks(
+        queries,
+        domain=domain,
+        counterexample_trials=counterexample_trials,
+        max_subsets=max_subsets,
+        unknown_bound=unknown_bound,
+        normalize=normalize,
+        seed=seed,
+        context=context,
+        pairs=pair_subset,
+    )
+    outcomes = resolve_executor(workers, executor).run(pair_runner, tasks)
+    for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index):
+        results[(outcome.name_a, outcome.name_b)] = outcome.result
+    return results
+
+
 def equivalence_matrix(
     queries: Mapping[str, Query],
     domain: Domain = Domain.RATIONALS,
@@ -356,47 +450,20 @@ def equivalence_matrix(
     that aligns the sweeps with the pair tasks and lets pairs reaching the
     bounded procedure reuse memoized Γ(q, S_L).
     """
-    context = SharedBaseContext.from_catalog(queries.values()) if shared_base else None
-    results: dict[tuple[str, str], EquivalenceResult] = {}
-    pair_subset: Optional[Sequence[tuple[str, str]]] = None
-    if sweep:
-        plan = plan_catalog_sweep(
-            queries,
-            domain=domain,
-            max_subsets=max_subsets,
-            normalize=normalize,
-            context=context,
-        )
-        for group in plan.groups:
-            reports = sweep_equivalence(
-                group.queries,
-                group.pairs,
-                group.bound,
-                domain=domain,
-                semantics=group.semantics,
-                max_subsets=max_subsets,
-                workers=workers,
-                executor=executor,
-                seed=seed,
-                extra_constants=group.extra_constants,
-            )
-            for pair, report in reports.items():
-                results[pair] = _sweep_cell_result(group, pair, report, domain, queries)
-        pair_subset = plan.pair_path
-    tasks = pair_check_tasks(
+    results = decide_pairs(
         queries,
+        None,
         domain=domain,
         counterexample_trials=counterexample_trials,
         max_subsets=max_subsets,
         unknown_bound=unknown_bound,
-        normalize=normalize,
+        workers=workers,
+        executor=executor,
         seed=seed,
-        context=context,
-        pairs=pair_subset,
+        normalize=normalize,
+        shared_base=shared_base,
+        sweep=sweep,
     )
-    outcomes = resolve_executor(workers, executor).run(run_pair_task, tasks)
-    for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index):
-        results[(outcome.name_a, outcome.name_b)] = outcome.result
     return dict(sorted(results.items()))
 
 

@@ -210,6 +210,45 @@ def linear_chain_query(
     return Query(name, (variables[0],), (Condition(tuple(literals)),), aggregate)
 
 
+def random_warehouse_database(
+    seed: int,
+    max_stores: int = 4,
+    max_products: int = 5,
+    max_sales: int = 24,
+) -> Database:
+    """A random instance over the warehouse schema, for differential tests of
+    the view-rewriting subsystem.
+
+    Unlike :func:`repro.workloads.scenarios.build_warehouse` this generator
+    aims for adversarial shape rather than realism: relations may be empty,
+    returns may reference sales that never happened, amounts repeat (so
+    duplicate-sensitivity bugs surface), and negative amounts appear (so
+    ``sum`` cannot be confused with ``count`` scaling).
+    """
+    rng = random.Random(seed)
+    facts: list[tuple[str, tuple]] = []
+    stores = rng.randint(0, max_stores)
+    products = rng.randint(1, max_products)
+    for _ in range(rng.randint(0, max_sales)):
+        facts.append(
+            (
+                "sales",
+                (rng.randint(1, max(1, stores)), rng.randint(1, products), rng.choice(
+                    (-3, -1, 0, 1, 1, 2, 5, 10)
+                )),
+            )
+        )
+    for _ in range(rng.randint(0, 6)):
+        facts.append(("returns", (rng.randint(1, max(1, stores)), rng.randint(1, products))))
+    for product in range(1, products + 1):
+        if rng.random() < 0.25:
+            facts.append(("discontinued", (product,)))
+    for store in range(1, max(1, stores) + 1):
+        if rng.random() < 0.5:
+            facts.append(("premium_store", (store,)))
+    return Database(facts)
+
+
 def renamed_copy(query: Query, suffix: str = "_c") -> Query:
     """A copy of the query with every non-head variable renamed — equivalent to
     the original by construction."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..datalog.database import Database
 from ..datalog.parser import parse_query
 from ..datalog.queries import Query
+from ..rewriting.views import View, ViewCatalog
 
 
 @dataclass
@@ -109,3 +110,66 @@ def build_warehouse(
         ),
     }
     return WarehouseScenario(database=database, queries=queries)
+
+
+# ----------------------------------------------------------------------
+# The pre-aggregated warehouse (view-rewriting scenario)
+# ----------------------------------------------------------------------
+@dataclass
+class WarehouseViewScenario:
+    """A warehouse instance together with its materialized view catalog and
+    the analyst queries the rewriting engine should serve from the views."""
+
+    database: Database
+    views: ViewCatalog
+    queries: dict[str, Query]
+
+    @property
+    def fact_count(self) -> int:
+        return len(self.database)
+
+    def materialized(self) -> Database:
+        """The database extended with every view's stored relation."""
+        return self.views.materialize(self.database)
+
+
+def warehouse_views() -> ViewCatalog:
+    """The scenario's materialized views: per-(store, product) pre-aggregates
+    of the fact table, a returns-filtered copy, and — deliberately — one
+    *duplicating* projection (``sold``) that the rewriting engine must refuse
+    to thread aggregates through."""
+    return ViewCatalog(
+        [
+            View("sales_by_sp", parse_query("v(s, p, sum(a)) :- sales(s, p, a)")),
+            View("count_by_sp", parse_query("v(s, p, count()) :- sales(s, p, a)")),
+            View("max_by_sp", parse_query("v(s, p, max(a)) :- sales(s, p, a)")),
+            View("kept_sales", parse_query("v(s, p, a) :- sales(s, p, a), not returns(s, p)")),
+            View("sold", parse_query("v(s, p) :- sales(s, p, a)")),
+        ]
+    )
+
+
+def build_view_scenario(
+    stores: int = 5, products: int = 8, sales_per_store: int = 12, seed: int = 7
+) -> WarehouseViewScenario:
+    """The pre-aggregated warehouse: the deterministic instance of
+    :func:`build_warehouse` plus the view catalog and the aggregate reports
+    that should be answered from the pre-aggregates instead of the fact
+    table."""
+    warehouse = build_warehouse(stores, products, sales_per_store, seed)
+    queries = {
+        # Each pairs with a view through one of the engine's threading rules.
+        "total_revenue": parse_query("revenue(s, sum(a)) :- sales(s, p, a)"),
+        "premium_revenue": parse_query(
+            "revenue(s, sum(a)) :- sales(s, p, a), premium_store(s)"
+        ),
+        "sales_count": parse_query("volume(s, count()) :- sales(s, p, a)"),
+        "assortment": parse_query("assortment(s, cntd(p)) :- sales(s, p, a)"),
+        "top_sale": parse_query("top_sale(s, max(a)) :- sales(s, p, a)"),
+        "kept_revenue": parse_query(
+            "kept(s, sum(a)) :- sales(s, p, a), not returns(s, p)"
+        ),
+    }
+    return WarehouseViewScenario(
+        database=warehouse.database, views=warehouse_views(), queries=queries
+    )

@@ -409,3 +409,99 @@ class TestGuards:
 
 def _square(value):
     return value * value
+
+
+class TestRangeShippingShards:
+    """The (start, count) range shards vs the row-shipping reference."""
+
+    def test_block_cyclic_ranges_cover_the_span(self):
+        from repro.parallel import block_cyclic_ranges
+
+        for start, count, shards in [(0, 1, 1), (10, 23, 3), (5, 100, 7), (0, 8, 16)]:
+            ranges = block_cyclic_ranges(start, count, shards)
+            positions = sorted(
+                position
+                for blocks in ranges
+                for (block_start, block_count) in blocks
+                for position in range(block_start, block_start + block_count)
+            )
+            assert positions == list(range(start, start + count))
+            assert len(ranges) <= shards
+        assert block_cyclic_ranges(0, 0, 4) == []
+
+    @pytest.mark.parametrize("ship", ["rows", "ranges"])
+    def test_sweep_ship_modes_agree(self, ship):
+        from repro.core.bounded import sweep_equivalence
+
+        catalog = {
+            "a": parse_query("q(count()) :- p(y), r(y)"),
+            "b": parse_query("q(count()) :- r(y), p(y)"),
+            "c": parse_query("q(count()) :- p(y)"),
+            "d": parse_query("q(count()) :- p(y), r(y), s(y, y)"),
+        }
+        pairs = [("a", "b"), ("a", "c"), ("a", "d"), ("b", "c")]
+        reports = sweep_equivalence(
+            catalog, pairs, 2, executor=ProcessExecutor(2), seed=11, ship=ship
+        )
+        verdicts = {pair: report.equivalent for pair, report in reports.items()}
+        assert verdicts == {
+            ("a", "b"): True,
+            ("a", "c"): False,
+            ("a", "d"): False,
+            ("b", "c"): False,
+        }
+        for pair, report in reports.items():
+            if not report.equivalent:
+                assert report.counterexample is not None
+
+    def test_range_tasks_ship_smaller_pickles(self):
+        import pickle
+
+        from repro.core.bounded import CanonicalSubsetEnumerator, prepare_sweep_run
+        from repro.parallel import sweep_check_tasks, sweep_range_tasks
+        from repro.domains import Domain
+
+        catalog = {
+            "a": parse_query("q(count()) :- p(x, y)"),
+            "b": parse_query("q(count()) :- p(y, x)"),
+        }
+        queries = tuple(catalog.items())
+        pairs = (("a", "b"),)
+        setup = prepare_sweep_run(catalog, 4, Domain.RATIONALS, "set", ())
+        subsets = [
+            (position, indices)
+            for position, indices in enumerate(CanonicalSubsetEnumerator(setup.base, setup.fresh))
+        ]
+        assert len(subsets) > 1000  # large enough for payloads to dominate
+        rows = sweep_check_tasks(
+            queries, pairs, 4, Domain.RATIONALS, "set", (), subsets, 4, seed=1
+        )
+        ranges = sweep_range_tasks(
+            queries, pairs, 4, Domain.RATIONALS, "set", (), 0, len(subsets), 4, seed=1
+        )
+        assert len(pickle.dumps(ranges)) < len(pickle.dumps(rows)) / 10
+
+    def test_range_worker_reenumerates_identically(self):
+        from repro.core.bounded import CanonicalSubsetEnumerator, prepare_sweep_run
+        from repro.parallel import run_sweep_check_task, run_sweep_range_task
+        from repro.parallel import sweep_check_tasks, sweep_range_tasks
+        from repro.domains import Domain
+
+        catalog = {
+            "a": parse_query("q(count()) :- p(y), r(y)"),
+            "b": parse_query("q(count()) :- p(y)"),
+        }
+        queries = tuple(catalog.items())
+        pairs = (("a", "b"),)
+        setup = prepare_sweep_run(catalog, 2, Domain.RATIONALS, "set", ())
+        subsets = list(enumerate(CanonicalSubsetEnumerator(setup.base, setup.fresh)))
+        (rows_task,) = sweep_check_tasks(
+            queries, pairs, 2, Domain.RATIONALS, "set", (), subsets, 1, seed=3
+        )
+        (range_task,) = sweep_range_tasks(
+            queries, pairs, 2, Domain.RATIONALS, "set", (), 0, len(subsets), 1, seed=3
+        )
+        rows_outcome = run_sweep_check_task(rows_task)
+        range_outcome = run_sweep_range_task(range_task)
+        assert [f[0:2] for f in rows_outcome.found] == [f[0:2] for f in range_outcome.found]
+        assert rows_outcome.stats.subsets_examined == range_outcome.stats.subsets_examined

@@ -30,10 +30,22 @@ class TestPackageSurface:
         import repro.datalog as datalog
         import repro.engine as engine
         import repro.orderings as orderings
+        import repro.parallel as parallel
+        import repro.rewriting as rewriting
         import repro.sql as sql
         import repro.workloads as workloads
 
-        for module in (aggregates, core, datalog, engine, orderings, sql, workloads):
+        for module in (
+            aggregates,
+            core,
+            datalog,
+            engine,
+            orderings,
+            parallel,
+            rewriting,
+            sql,
+            workloads,
+        ):
             for name in module.__all__:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
 
