@@ -1,60 +1,65 @@
 #!/usr/bin/env python3
-"""Parallel decision procedures: auditing rewritings of a warehouse catalog.
+"""A live optimizer session: auditing a warehouse catalog incrementally.
 
-A rewriting optimizer faced with a catalog of analyst queries needs two
-expensive judgements: pairwise equivalence across the catalog, and full
-bounded-equivalence audits for rewritings that fall outside the fast
-quasilinear fragment.  Both decompose into independent checks, so both shard
-across worker processes (:mod:`repro.parallel`) — and both stay
-deterministic: verdicts and witnesses do not depend on worker scheduling.
+A rewriting optimizer holding a catalog of analyst queries does not see the
+catalog once — queries keep arriving, and each arrival asks one question:
+which existing formulations is the newcomer equivalent to?  The session API
+(:class:`repro.Workspace`) is built for exactly that shape of traffic: the
+shared BASE, the Γ / signature caches, and the worker pool persist across
+calls, and each ``equivalences()`` re-query decides only the *delta* cells
+(new query × catalog).  Verdicts stay deterministic — they never depend on
+worker scheduling or on how the catalog was grown.
 
 Run with::
 
     python examples/parallel_rewriting_audit.py
 """
 
-from repro import parse_query
-from repro.core import bounded_equivalence
-from repro.workloads import build_warehouse, equivalence_matrix, format_equivalence_matrix
+from repro import Workspace
+from repro.workloads import build_warehouse, format_equivalence_matrix
 
 
 def main() -> None:
     warehouse = build_warehouse(stores=3, products=4, sales_per_store=6, seed=11)
 
-    # ------------------------------------------------------------------
-    # 1. The catalog matrix, sharded across worker processes.
-    # ------------------------------------------------------------------
-    catalog = {
-        name: warehouse.queries[name]
-        for name in ("revenue_per_store", "revenue_per_store_alt", "largest_sale")
-    }
-    # The ROADMAP's pinned-sum pair: sum over a variable pinned to 1 IS count.
-    catalog["unit_sales"] = parse_query("units(s, sum(u)) :- sales(s, p, a), u = 1")
-    catalog["sales_count"] = parse_query("units(s, count()) :- sales(s, p, a)")
+    with Workspace(workers=2, seed=7) as session:
+        # --------------------------------------------------------------
+        # 1. Seed the session with the standing catalog.
+        # --------------------------------------------------------------
+        for name in ("revenue_per_store", "revenue_per_store_alt", "largest_sale"):
+            session.add(warehouse.queries[name], name=name)
+        results = session.equivalences()
+        print("standing catalog (workers=2, seeded):")
+        print(format_equivalence_matrix(results))
+        print()
 
-    results = equivalence_matrix(catalog, workers=2, seed=7)
-    print("catalog equivalence matrix (workers=2, seeded):")
-    print(format_equivalence_matrix(results))
-    pinned = results[("sales_count", "unit_sales")]
-    print()
-    print(f"pinned-sum cell: {pinned.verdict.value} [{pinned.method}]")
-    print()
+        # --------------------------------------------------------------
+        # 2. Two queries arrive mid-session — the ROADMAP's pinned-sum
+        #    pair: sum over a variable pinned to 1 IS count.  Only the
+        #    new cells are decided; the three old ones are served from
+        #    the session.
+        # --------------------------------------------------------------
+        session.add("units(s, sum(u)) :- sales(s, p, a), u = 1", name="unit_sales")
+        session.add("units(s, count()) :- sales(s, p, a)", name="sales_count")
+        results = session.equivalences()
+        print("after two arrivals (only the delta cells were decided):")
+        print(format_equivalence_matrix(results))
+        pinned = results[("sales_count", "unit_sales")]
+        print()
+        print(f"pinned-sum cell: {pinned.verdict.value} [{pinned.method}]")
+        print()
 
-    # ------------------------------------------------------------------
-    # 2. A full bounded audit of a literal-reordered rewriting.
-    # ------------------------------------------------------------------
-    first = parse_query("audit(count()) :- returns(s, p), premium_store(s)")
-    second = parse_query("audit(count()) :- premium_store(s), returns(s, p)")
-    report = bounded_equivalence(first, second, 2, workers=2, parallel_threshold=0)
-    print("bounded rewriting audit (N=2, workers=2):")
-    print(f"  equivalent: {report.equivalent}")
-    print(
-        f"  canonical subsets examined: {report.subsets_examined} "
-        f"(+{report.subsets_skipped_by_symmetry} orbit duplicates never generated)"
-    )
-    print(f"  ordering checks: {report.orderings_examined}")
-    for note in report.notes:
-        print(f"  note: {note}")
+        # --------------------------------------------------------------
+        # 3. Session accounting: decided vs served, and the pool that
+        #    was forked (at most) once for the whole session.
+        # --------------------------------------------------------------
+        stats = session.stats()
+        total_cells = len(results)
+        print(
+            f"session stats: {stats.decided_cells} of {total_cells} cells decided "
+            f"across 2 calls, {stats.pool_forks} pool fork(s), "
+            f"{stats.workers} workers"
+        )
 
 
 if __name__ == "__main__":

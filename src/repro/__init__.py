@@ -20,6 +20,18 @@ Quick start::
     q1 = parse_query("q(x, sum(y)) :- p(x, y), y > 0")
     q2 = parse_query("q(x, sum(y)) :- p(x, y), y > 0, not r(x)")
     print(are_equivalent(q1, q2))
+
+For anything session-shaped — a growing catalog, repeated rewrites — use
+the stateful :class:`repro.Workspace` (:mod:`repro.session`), which keeps
+the shared BASE, verdict caches, and worker pool alive across calls and
+decides only the delta cells of each ``equivalences()`` re-query::
+
+    from repro import Workspace
+
+    with Workspace(workers=4) as ws:
+        ws.add("q(x, sum(y)) :- p(x, y)", name="a")
+        ws.add("q(x, sum(z)) :- p(x, z)", name="b")
+        print(ws.equivalences())
 """
 
 from .aggregates import (
@@ -80,6 +92,7 @@ from .rewriting import (
     rewrite,
     unfold_query,
 )
+from .session import Workspace, WorkspaceStats
 
 __version__ = "1.0.0"
 
@@ -114,6 +127,8 @@ __all__ = [
     "Verdict",
     "View",
     "ViewCatalog",
+    "Workspace",
+    "WorkspaceStats",
     "are_equivalent",
     "are_isomorphic",
     "bag_set_equivalent",

@@ -69,6 +69,14 @@ class AggregationFunction(ABC):
     #: Whether the function is decomposable only over the nonzero rationals
     #: (the special situation of ``prod``, Theorem 6.6).
     decomposable_over_nonzero_only: bool = False
+    #: Whether the function's value depends only on the *set* underlying the
+    #: bag (``max``, ``min``, ``topK``/``botK``, ``cntd``).  Duplicate
+    #: tolerance is what licenses threading the function through view
+    #: unfoldings that multiply assignments without changing their projection
+    #: (see :mod:`repro.rewriting.unfold`); duplicate-sensitive functions
+    #: must be rejected there.  Cross-validated empirically by
+    #: :func:`repro.aggregates.properties.duplicate_insensitivity_counterexample`.
+    is_duplicate_insensitive: bool = False
 
     # ------------------------------------------------------------------
     # Structural traits
@@ -315,6 +323,7 @@ class Max(AggregationFunction):
     monoid = MAX_MONOID
     is_shiftable = True
     is_singleton_determining = True
+    is_duplicate_insensitive = True
 
     def apply(self, bag: Iterable) -> Optional[NumericValue]:
         values = self.scalars(bag)
@@ -332,6 +341,7 @@ class Min(AggregationFunction):
     monoid = MIN_MONOID
     is_shiftable = True
     is_singleton_determining = True
+    is_duplicate_insensitive = True
 
     def apply(self, bag: Iterable) -> Optional[NumericValue]:
         values = self.scalars(bag)
@@ -352,6 +362,7 @@ class TopK(AggregationFunction):
     input_arity = 1
     is_shiftable = True
     is_singleton_determining = True
+    is_duplicate_insensitive = True  # "K greatest *distinct* elements"
 
     def __init__(self, k: int, largest: bool = True):
         self.k = k
@@ -381,6 +392,7 @@ class CountDistinct(AggregationFunction):
     monoid = None
     is_shiftable = True
     is_singleton_determining = False
+    is_duplicate_insensitive = True
 
     def apply(self, bag: Iterable) -> int:
         return len({self.normalize_element(element) for element in bag})

@@ -103,6 +103,60 @@ def _apply_shift(element: tuple, shift: dict) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Duplicate insensitivity
+# ----------------------------------------------------------------------
+@dataclass
+class DuplicateInsensitivityCounterexample:
+    """Witness that a function distinguishes duplicates: a bag on which it
+    disagrees with its own value on the bag's underlying set."""
+
+    bag: list
+    deduplicated: list
+    bag_value: object
+    set_value: object
+
+    def __str__(self) -> str:
+        return (
+            f"B={self.bag} -> {self.bag_value!r}, "
+            f"set(B)={self.deduplicated} -> {self.set_value!r}"
+        )
+
+
+def duplicate_insensitivity_counterexample(
+    function: AggregationFunction,
+    rng: random.Random,
+    trials: int = 200,
+    max_size: int = 4,
+) -> Optional[DuplicateInsensitivityCounterexample]:
+    """Search for a bag whose value under the function changes when its
+    duplicates are dropped.
+
+    ``None`` is evidence of (not proof of) duplicate insensitivity — the
+    trait the rewriting unfolder relies on to thread ``max``/``min``/
+    ``topK``/``cntd`` through duplicating views
+    (:attr:`~repro.aggregates.functions.AggregationFunction.is_duplicate_insensitive`);
+    for the duplicate-sensitive functions the checker finds witnesses
+    quickly (``sum([1, 1]) ≠ sum([1])``).
+    """
+    arity = function.input_arity if function.input_arity is not None else 1
+    for _ in range(trials):
+        support = rng.sample(range(-6, 12), k=rng.randint(1, 5))
+        bag = _random_bag(rng, support, arity, max_size)
+        if not bag:
+            continue
+        # Force at least one duplicate — deduplication must change something.
+        bag = bag + [rng.choice(bag) for _ in range(rng.randint(1, 3))]
+        deduplicated = list(dict.fromkeys(bag))
+        bag_value = function.apply(bag)
+        set_value = function.apply(deduplicated)
+        if bag_value != set_value:
+            return DuplicateInsensitivityCounterexample(
+                bag, deduplicated, bag_value, set_value
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
 # Singleton determination
 # ----------------------------------------------------------------------
 def singleton_determining_counterexample(

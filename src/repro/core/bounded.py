@@ -678,6 +678,16 @@ def check_subset_sweep(
     return settled
 
 
+def _executor_wants_warm_prefix(executor) -> bool:
+    """Whether the sweep should run its serial warm prefix before handing the
+    stream to ``executor``: always for the default per-call pool (``None``),
+    and for session executors exactly while their lazy fork is still ahead."""
+    if executor is None:
+        return True
+    probe = getattr(executor, "wants_warm_prefix", None)
+    return bool(probe()) if callable(probe) else False
+
+
 def sweep_equivalence(
     queries: "dict[str, Query] | Sequence[tuple[str, Query]]",
     pairs: Sequence[tuple[str, str]],
@@ -714,6 +724,12 @@ def sweep_equivalence(
     selects the shard payload (``"ranges"``, the default, ships ``(start,
     count)`` positions and re-enumerates per worker; ``"rows"`` ships the
     materialized subset rows — the differential reference).
+
+    .. deprecated:: callers holding a catalog across calls should reach this
+       through :meth:`repro.session.Workspace.equivalences`, which plans the
+       sweeps once per delta, keeps the pool alive (``executor=`` a
+       :class:`~repro.parallel.executor.PersistentProcessExecutor`), and
+       never re-decides a settled pair.
     """
     catalog = dict(queries)
     pair_list = [tuple(pair) for pair in pairs]
@@ -789,7 +805,16 @@ def sweep_equivalence(
             # merged-partition signatures are the most shared entries of the
             # Γ and comparison caches) before forking, so every worker
             # inherits a warm cache copy-on-write instead of re-deriving it.
-            prefix = subset_list[: max(0, warm_prefix)] if executor is None else []
+            # Session executors whose pool forks lazily on first use (see
+            # :meth:`repro.parallel.executor.PersistentProcessExecutor.wants_warm_prefix`)
+            # opt in for the run that performs the fork; an executor whose
+            # pool already exists skips the prefix — its workers carry their
+            # own accumulated caches.
+            prefix = (
+                subset_list[: max(0, warm_prefix)]
+                if _executor_wants_warm_prefix(executor)
+                else []
+            )
             check_serial(prefix)
             remaining = subset_list[len(prefix) :]
             if open_pairs and remaining:

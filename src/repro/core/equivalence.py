@@ -269,6 +269,12 @@ def are_equivalent(
     ``seed`` makes every randomized witness search reproducible; ``context``
     shares a catalog-wide BASE across matrix cells; ``workers`` shards any
     bounded-equivalence search the dispatch performs.
+
+    .. deprecated:: for repeated checks over a growing catalog prefer
+       :class:`repro.session.Workspace` — each one-shot call here re-warms
+       the Γ / signature caches and (with ``workers``) re-forks a pool that
+       a session keeps alive, and a workspace additionally serves repeated
+       cells from its verdict cache.
     """
     if first.is_aggregate != second.is_aggregate:
         raise UnsupportedAggregateError(

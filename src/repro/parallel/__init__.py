@@ -20,6 +20,7 @@ and falls back to serial).
 """
 
 from .executor import (
+    PersistentProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     cancellation_requested,
@@ -57,6 +58,7 @@ __all__ = [
     "BoundedCheckTask",
     "PairCheckTask",
     "PairOutcome",
+    "PersistentProcessExecutor",
     "ProcessExecutor",
     "SHIP_RANGES",
     "SHIP_ROWS",

@@ -129,14 +129,48 @@ class SerialExecutor:
         return outcomes
 
 
-class ProcessExecutor:
-    """A multiprocessing pool with chunked dispatch and cooperative early exit.
+def _fork_pool(processes: int):
+    """Fork a worker pool with the shared cancellation event wired into every
+    child; returns ``(pool, event)``.  Shared by both process executors."""
+    import gc
 
-    Tasks are handed to the pool with ``imap_unordered`` (so fast shards do
-    not wait for slow ones); once ``stop`` accepts an outcome the shared
-    cancellation event is set and the remaining tasks return immediately with
-    their ``cancelled`` marker.  The returned outcome list is complete, so the
-    caller's deterministic merge sees every shard that did real work.
+    # Forked workers inherit the parent heap copy-on-write; collecting
+    # first trims garbage pages the children would otherwise fault in.
+    gc.collect()
+    context = _pool_context()
+    event = context.Event()
+    pool = context.Pool(
+        processes=max(1, processes),
+        initializer=_initialize_worker,
+        initargs=(event,),
+    )
+    return pool, event
+
+
+def _drain_pool(
+    pool,
+    event,
+    worker: Callable,
+    tasks: Sequence,
+    stop: Optional[Callable[[object], bool]],
+    chunksize: int,
+) -> list:
+    """The shared dispatch loop: ``imap_unordered`` with cooperative early
+    exit — once ``stop`` accepts an outcome the cancellation event is set and
+    the remaining tasks return immediately with their ``cancelled`` marker.
+    The returned outcome list is complete, so the caller's deterministic
+    merge sees every shard that did real work."""
+    outcomes = []
+    for outcome in pool.imap_unordered(worker, tasks, chunksize=chunksize):
+        outcomes.append(outcome)
+        if stop is not None and stop(outcome) and not event.is_set():
+            event.set()
+    return outcomes
+
+
+class ProcessExecutor:
+    """A per-call multiprocessing pool with chunked dispatch and cooperative
+    early exit (see :func:`_drain_pool`).
 
     ``workers`` is the sharding degree; the pool itself never spawns more
     processes than the machine has cores (oversubscribing a CPU-bound search
@@ -158,25 +192,112 @@ class ProcessExecutor:
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1 or in_worker():
             return SerialExecutor().run(worker, tasks, stop)
-        import gc
+        pool, event = _fork_pool(min(self.workers, len(tasks), available_cores()))
+        with pool:
+            return _drain_pool(pool, event, worker, tasks, stop, self.chunksize)
 
-        # Forked workers inherit the parent heap copy-on-write; collecting
-        # first trims garbage pages the children would otherwise fault in.
-        gc.collect()
-        context = _pool_context()
-        event = context.Event()
-        outcomes = []
-        processes = max(1, min(self.workers, len(tasks), available_cores()))
-        with context.Pool(
-            processes=processes,
-            initializer=_initialize_worker,
-            initargs=(event,),
-        ) as pool:
-            for outcome in pool.imap_unordered(worker, tasks, chunksize=self.chunksize):
-                outcomes.append(outcome)
-                if stop is not None and stop(outcome) and not event.is_set():
-                    event.set()
-        return outcomes
+
+class PersistentProcessExecutor:
+    """A process pool that stays alive across ``run`` calls (session mode).
+
+    :class:`ProcessExecutor` forks a fresh pool per invocation — the right
+    trade for one-shot entry points, where the fork inherits the parent's
+    freshly warmed caches copy-on-write and the pool's lifetime is the call.
+    A long-lived session (:class:`repro.session.Workspace`) inverts the
+    trade: the pool forks **once**, lazily, on the first run that has enough
+    work to shard — after the parent's serial warm prefix, so the children
+    still inherit the warm shared Γ / comparison caches — and every later
+    call reuses the same workers, whose per-process setup memos and shared
+    caches accumulate across calls instead of being re-derived per fork.
+
+    The executor owns one shared cancellation event, cleared between runs
+    (``multiprocessing.Event`` state propagates to the already-forked
+    workers).  ``forks`` counts pool creations — the session benchmarks and
+    tests assert it stays at one across repeated calls.  ``close()`` (or use
+    as a context manager) terminates the pool; a closed executor degrades to
+    serial execution rather than erroring, so a session wound down mid-flight
+    still completes its work.
+    """
+
+    def __init__(self, workers: int, chunksize: int = 1):
+        self.workers = max(1, int(workers))
+        self.chunksize = max(1, int(chunksize))
+        self.forks = 0
+        self._pool = None
+        self._event = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def wants_warm_prefix(self) -> bool:
+        """Whether the next sweep should run its serial warm prefix in the
+        parent: true until the pool exists (the fork is still ahead, so the
+        prefix's cache entries will be inherited copy-on-write)."""
+        return self._pool is None and not self._closed and self.workers > 1
+
+    @property
+    def alive(self) -> bool:
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Terminate the pool.  Idempotent; later runs degrade to serial."""
+        self._closed = True
+        self._discard_pool()
+
+    def _discard_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        self._event = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "PersistentProcessExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            # Unlike the one-shot executor, the pool size is not clamped by
+            # the first call's task count: the same pool serves every later
+            # (possibly much larger) run of the session.
+            self._pool, self._event = _fork_pool(min(self.workers, available_cores()))
+            self.forks += 1
+        return self._pool
+
+    def run(
+        self,
+        worker: Callable,
+        tasks: Sequence,
+        stop: Optional[Callable[[object], bool]] = None,
+    ) -> list:
+        tasks = list(tasks)
+        if self.workers <= 1 or len(tasks) <= 1 or in_worker() or self._closed:
+            return SerialExecutor().run(worker, tasks, stop)
+        pool = self._ensure_pool()
+        self._event.clear()
+        try:
+            return _drain_pool(pool, self._event, worker, tasks, stop, self.chunksize)
+        except BaseException:
+            # A failed drain (a worker died, an exception propagated out of
+            # imap) leaves the pool in an unknown state.  Discard it so the
+            # next run forks a fresh one — one transient failure must not
+            # wedge the long-lived session — and let the caller see the
+            # error.
+            self._discard_pool()
+            raise
 
 
 def _pool_context():

@@ -21,7 +21,9 @@ from .engine import (
     RewritingReport,
     VerifiedRewriting,
     as_view_catalog,
+    assemble_report,
     estimated_cost,
+    naive_estimated_cost,
     rewrite,
 )
 from .unfold import unfold_query, uses_views
@@ -36,8 +38,10 @@ __all__ = [
     "View",
     "ViewCatalog",
     "as_view_catalog",
+    "assemble_report",
     "estimated_cost",
     "generate_candidates",
+    "naive_estimated_cost",
     "rewrite",
     "unfold_query",
     "uses_views",

@@ -30,6 +30,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 from ..core.equivalence import EquivalenceResult, Verdict
 from ..datalog.database import Database
 from ..datalog.queries import Query
+from ..datalog.terms import Constant
 from ..domains import Domain
 from ..errors import RewritingError, SearchSpaceBudgetError
 from ..parallel.executor import Executor
@@ -55,18 +56,71 @@ def as_view_catalog(views: ViewsLike) -> ViewCatalog:
     return ViewCatalog(views)
 
 
-def estimated_cost(query: Query, database: Database) -> int:
-    """A naive join-size upper bound: per disjunct, the product of the sizes
-    of the positive atoms' relations (the worst case a nested-loop join can
-    enumerate), summed over disjuncts.  Crude, but it orders a fact-table
-    scan far above a pre-aggregated view probe — which is exactly the
-    decision the ranking has to make."""
+def naive_estimated_cost(query: Query, database: Database) -> int:
+    """The PR 4 cost model, kept as the coarse reference: per disjunct, the
+    product of the sizes of the positive atoms' relations (the worst case a
+    nested-loop join can enumerate), summed over disjuncts.  It orders a
+    fact-table scan above a view probe, but ties every residual join of the
+    same relations regardless of how selective the join columns are."""
     total = 0
     for disjunct in query.disjuncts:
         cost = 1
         for atom in disjunct.positive_atoms:
             cost *= max(1, len(database.relation(atom.predicate)))
         total += cost
+    return total
+
+
+def _column_distinct_count(
+    database: Database, predicate: str, position: int, memo: dict
+) -> int:
+    """Distinct values in one column of a stored relation (memoized per call
+    — the ranking probes the same view extents for every candidate)."""
+    key = (predicate, position)
+    cached = memo.get(key)
+    if cached is None:
+        cached = len({row[position] for row in database.relation(predicate)})
+        memo[key] = cached
+    return cached
+
+
+def estimated_cost(
+    query: Query, database: Database, _memo: Optional[dict] = None
+) -> int:
+    """A distinct-count join-cardinality estimate over the stored extents.
+
+    Atoms are joined left to right (candidates put their view atom first, so
+    its columns bind the residual joins).  Each atom starts from its
+    relation's row count; every column already bound by an earlier atom — or
+    pinned by a constant — divides the contribution by that column's distinct
+    count in the stored extent, the classic uniform-frequency estimate
+    ``|R| / Π V(R, c)``.  Unlike the plain join-size product
+    (:func:`naive_estimated_cost`) this ranks residual-join candidates by
+    how selectively the view's exported columns bind them: probing a
+    pre-aggregated extent whose group key joins the residual on all its
+    distinct values costs ~one row per group, not ``|view| × |residual|``.
+
+    Estimates are floored at one row per atom, summed over disjuncts, so a
+    fact-table scan still dominates every pre-aggregated probe.
+    """
+    memo: dict = _memo if _memo is not None else {}
+    total = 0
+    for disjunct in query.disjuncts:
+        rows = 1
+        bound: set = set()
+        for atom in disjunct.positive_atoms:
+            size = max(1, len(database.relation(atom.predicate)))
+            selectivity = 1
+            for position, argument in enumerate(atom.arguments):
+                if isinstance(argument, Constant) or argument in bound:
+                    selectivity *= max(
+                        1, _column_distinct_count(database, atom.predicate, position, memo)
+                    )
+            rows *= max(1, size // selectivity)
+            bound |= {
+                argument for argument in atom.arguments if not isinstance(argument, Constant)
+            }
+        total += rows
     return total
 
 
@@ -147,11 +201,22 @@ class RewritingEngine:
         domain: Domain = Domain.RATIONALS,
         max_subsets: int = 2_000_000,
         counterexample_trials: int = 400,
+        unknown_bound: Optional[int] = None,
+        normalize: bool = True,
+        shared_base: bool = True,
+        sweep: bool = True,
     ):
         self.views = as_view_catalog(views)
         self.domain = domain
         self.max_subsets = max_subsets
         self.counterexample_trials = counterexample_trials
+        # Decision knobs forwarded to every verification batch, so a session
+        # configuring them (repro.session.Workspace) gets the same dispatch
+        # behavior from rewrite verification as from its equivalence matrix.
+        self.unknown_bound = unknown_bound
+        self.normalize = normalize
+        self.shared_base = shared_base
+        self.sweep = sweep
 
     # ------------------------------------------------------------------
     # Candidate synthesis
@@ -225,9 +290,13 @@ class RewritingEngine:
             domain=self.domain,
             counterexample_trials=self.counterexample_trials,
             max_subsets=self.max_subsets,
+            unknown_bound=self.unknown_bound,
             workers=workers,
             executor=executor,
             seed=seed,
+            normalize=self.normalize,
+            shared_base=self.shared_base,
+            sweep=self.sweep,
             pair_runner=_run_pair_task_guarded,
         )
         verified: list[VerifiedRewriting] = []
@@ -260,23 +329,45 @@ class RewritingEngine:
         verified = self.verify(
             query, candidates, workers=workers, executor=executor, seed=seed
         )
-        report = RewritingReport(query=query, rejected=rejected)
-        for outcome in verified:
-            if outcome.is_safe:
-                report.safe.append(outcome)
-            elif outcome.result.verdict is Verdict.NOT_EQUIVALENT:
-                report.not_equivalent.append(outcome)
-            else:
-                report.unverified.append(outcome)
-        if database is not None:
-            materialized = self.views.materialize(database)
-            report.direct_cost = estimated_cost(query, database)
-            for outcome in report.safe:
-                outcome.estimated_cost = estimated_cost(outcome.candidate.query, materialized)
-            report.safe.sort(
-                key=lambda outcome: (outcome.estimated_cost, outcome.candidate.name)
+        return assemble_report(query, verified, rejected, self.views, database)
+
+
+def assemble_report(
+    query: Query,
+    verified: Sequence[VerifiedRewriting],
+    rejected: Sequence[RejectedCandidate],
+    views: ViewCatalog,
+    database: Optional[Database] = None,
+) -> RewritingReport:
+    """Partition verified candidates into a :class:`RewritingReport` and —
+    with a database — rank the safe bucket by estimated cost over the
+    materialized extents.
+
+    Split out of :meth:`RewritingEngine.rewrite` so a session
+    (:meth:`repro.session.Workspace.rewrite`) can cache the expensive
+    verification outcomes and re-assemble reports per call (the ranking
+    depends on the database; the verdicts do not).
+    """
+    report = RewritingReport(query=query, rejected=list(rejected))
+    for outcome in verified:
+        if outcome.is_safe:
+            report.safe.append(outcome)
+        elif outcome.result.verdict is Verdict.NOT_EQUIVALENT:
+            report.not_equivalent.append(outcome)
+        else:
+            report.unverified.append(outcome)
+    if database is not None:
+        materialized = views.materialize(database)
+        memo: dict = {}
+        report.direct_cost = estimated_cost(query, database)
+        for outcome in report.safe:
+            outcome.estimated_cost = estimated_cost(
+                outcome.candidate.query, materialized, memo
             )
-        return report
+        report.safe.sort(
+            key=lambda outcome: (outcome.estimated_cost, outcome.candidate.name)
+        )
+    return report
 
 
 def rewrite(
@@ -295,8 +386,20 @@ def rewrite(
     The one-shot form of :class:`RewritingEngine`: every emitted safe
     rewriting has been proved equivalent to ``query`` over every database by
     the equivalence engine; ``workers=N`` fans the verification out over N
-    processes (``None`` honours ``REPRO_WORKERS``)."""
-    engine = RewritingEngine(views, domain=domain, max_subsets=max_subsets)
-    return engine.rewrite(
-        query, database=database, workers=workers, seed=seed, limit=limit
-    )
+    processes (``None`` honours ``REPRO_WORKERS``).
+
+    .. deprecated:: prefer :class:`repro.session.Workspace` when rewriting
+       more than once against the same view catalog — this function is now a
+       thin shim over an ephemeral workspace, so every call re-forks its
+       worker pool and re-verifies from cold caches.  A session registers the
+       views once, keeps the pool and verification caches alive, and serves
+       repeated ``ws.rewrite(query)`` calls from them.
+    """
+    from ..session import Workspace
+
+    with Workspace(
+        workers=workers, domain=domain, max_subsets=max_subsets, seed=seed
+    ) as workspace:
+        for view in as_view_catalog(views):
+            workspace.register_view(view)
+        return workspace.rewrite(query, database=database, limit=limit)

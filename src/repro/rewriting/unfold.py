@@ -19,14 +19,17 @@ Unfolding rules
   head variables are substituted by the atom's arguments, hidden (non-head)
   variables are renamed fresh per occurrence, and a disjunctive view
   distributes (one output disjunct per combination of view disjuncts).  Under
-  set semantics this is always faithful.  Under *aggregate* semantics it is
-  faithful only for **duplicate-free** views: a view that projects variables
-  away collapses several satisfying assignments onto one stored row, so its
-  unfolding multiplies assignments and changes every duplicate-sensitive
-  aggregate.  Aggregate queries over duplicating views are therefore
-  rejected — including ``cntd``, whose duplicate-insensitivity is not covered
-  by the multiplicity argument verified here (a conservative rejection:
-  soundness over completeness).
+  set semantics this is always faithful.  Under *aggregate* semantics a view
+  that projects variables away collapses several satisfying assignments onto
+  one stored row, so its unfolding multiplies assignments — but the
+  multiplication never changes *which* (group, value) combinations occur,
+  only how often.  Queries aggregating with a **duplicate-insensitive**
+  function (``max``, ``min``, ``topK``/``botK``, ``cntd`` — the
+  ``is_duplicate_insensitive`` trait of
+  :class:`~repro.aggregates.functions.AggregationFunction`) therefore unfold
+  faithfully through duplicating and disjunctive views alike; queries with a
+  duplicate-sensitive aggregate (``count``, ``sum``, ``avg``, ``prod``,
+  ``parity``) over such views are rejected.
 
 * A positive atom of an **aggregate view** ``v(x̄, α(ȳ))`` carries the
   aggregate value in its last argument, the *output term* ``t``.  The query's
@@ -82,6 +85,22 @@ THREADED_PAIRINGS: dict[tuple[str, str], str] = {
     ("max", "max"): "max",
     ("min", "min"): "min",
 }
+
+
+def _tolerates_duplicates(query: Query) -> bool:
+    """Whether the query's aggregate survives assignment multiplication.
+
+    Unfolding a duplicating (or disjunctive) view preserves the *set* of
+    satisfying assignments projected to the query's variables — only their
+    multiplicities grow — so the per-group bag keeps its underlying set and
+    every duplicate-insensitive function
+    (:attr:`~repro.aggregates.functions.AggregationFunction.is_duplicate_insensitive`)
+    keeps its value.  Duplicate-sensitive functions do not, and stay rejected.
+    """
+    from ..aggregates.functions import get_function
+
+    assert query.aggregate is not None
+    return get_function(query.aggregate.function).is_duplicate_insensitive
 
 
 class _FreshNames:
@@ -175,23 +194,32 @@ def _unfold_disjunct(
             aggregate_atom, aggregate_view = literal, view
             slots.append([])  # placeholder, filled below
             continue
-        if query.is_aggregate and view.is_duplicating:
+        if query.is_aggregate and view.is_duplicating and not _tolerates_duplicates(query):
             hidden = ", ".join(sorted(v.name for v in view.duplicating_variables()))
             raise RewritingError(
                 f"aggregate query {query.name!r} uses duplicating view {view.name!r} "
                 f"(hidden variables: {hidden}); unfolding would multiply assignments, "
-                f"which is unsound for {query.aggregate.function} (and not "
-                "established here even for duplicate-insensitive functions)"
+                f"which is unsound for the duplicate-sensitive "
+                f"{query.aggregate.function} (only duplicate-insensitive functions "
+                "— max, min, topK, cntd — thread through duplicating views)"
             )
-        if query.is_aggregate and len(view.query.disjuncts) > 1:
+        if (
+            query.is_aggregate
+            and len(view.query.disjuncts) > 1
+            and not _tolerates_duplicates(query)
+        ):
             # Γ counts an assignment once per disjunct it satisfies, but the
             # stored view relation is the plain set-union of the disjuncts:
             # overlapping disjuncts collapse, so unfolding (which resurrects
-            # the per-disjunct labels) is not faithful under aggregation.
+            # the per-disjunct labels) is not faithful under a
+            # duplicate-sensitive aggregate.
             raise RewritingError(
                 f"aggregate query {query.name!r} uses disjunctive view {view.name!r}; "
                 "the stored union loses per-disjunct multiplicities of overlapping "
-                "disjuncts, so the unfolding would over-count"
+                f"disjuncts, so the unfolding would over-count under the "
+                f"duplicate-sensitive {query.aggregate.function} (only "
+                "duplicate-insensitive functions — max, min, topK, cntd — "
+                "thread through disjunctive views)"
             )
         slots.append(
             [_instantiate_view_disjunct(view, body, literal.arguments, fresh)

@@ -1,0 +1,509 @@
+"""The incremental :class:`Workspace`: persistent caches, a persistent pool,
+and delta equivalence matrices.
+
+A workspace is a stateful session over a growing query catalog and view
+catalog.  Where the one-shot entry points pay their fixed costs per call, a
+workspace pays them once and amortizes them over the session:
+
+* **One front door.**  :meth:`Workspace.add` ingests Datalog strings, SQL
+  SELECT statements, or :class:`~repro.datalog.queries.Query` ASTs;
+  :meth:`Workspace.register_view` ingests Datalog-defined
+  :class:`~repro.rewriting.views.View` objects, ``CREATE VIEW`` SQL, or
+  ``(name, definition)`` pairs.  One :class:`~repro.sql.translate.SqlTranslator`
+  holds the session's schema, so SQL and Datalog definitions share a single
+  view catalog and registered views are readable from later SELECTs.
+
+* **Delta equivalence matrices.**  :meth:`Workspace.equivalences` returns
+  the full matrix of the current catalog but decides only the cells no
+  earlier call settled (new-query × catalog).  Delta cells are decided
+  through :func:`repro.workloads.batch.decide_pairs` under the workspace's
+  *persistent* :class:`~repro.core.bounded.SharedBaseContext` — grown
+  monotonically as queries arrive, so once the catalog's vocabulary
+  plateaus, the sweep-group BASE recipes (and every Γ / signature /
+  group-index cache entry keyed under them) from earlier calls are hit
+  verbatim.  A structural verdict cache keyed by the query pair itself
+  (queries hash by their cached structural hash) short-circuits cells whose
+  exact ASTs were already decided under different names.
+
+* **A persistent pool.**  With ``workers=N`` the workspace owns a
+  :class:`~repro.parallel.executor.PersistentProcessExecutor`: the pool
+  forks once — lazily, after the first sweep's serial warm prefix, so the
+  children inherit the warm shared caches copy-on-write — and every later
+  ``equivalences()`` / ``rewrite()`` call reuses the same workers, whose
+  per-process setup memos keep accumulating.  ``close()`` (or the context
+  manager) tears the pool down.
+
+* **Cached rewriting.**  :meth:`Workspace.rewrite` runs the PR 4 engine
+  against the session's view catalog through the session executor, caching
+  verification outcomes per (query, limit); registering a view invalidates
+  the rewriting caches (verdicts may change), while adding queries does not.
+
+Reuse caveat: a cell decided in an earlier call is returned as decided then.
+Verdicts and methods are stable — equivalence is a property of the pair —
+but a *witness database* is whichever counterexample the enumeration of that
+call met first, which can differ from what a from-scratch matrix over the
+grown catalog would report (the BASE recipe may have grown since).  Every
+returned witness remains a genuine distinguishing database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Mapping, Optional, Sequence, Union
+
+from ..core.bounded import SharedBaseContext
+from ..core.equivalence import EquivalenceResult
+from ..datalog.database import Database
+from ..datalog.parser import parse_query
+from ..datalog.queries import Query
+from ..domains import Domain
+from ..errors import ReproError, RewritingError
+from ..parallel.executor import (
+    Executor,
+    PersistentProcessExecutor,
+    default_workers,
+    in_worker,
+)
+from ..rewriting.candidates import RejectedCandidate
+from ..rewriting.engine import (
+    RewritingEngine,
+    RewritingReport,
+    VerifiedRewriting,
+    assemble_report,
+)
+from ..rewriting.views import View, ViewCatalog
+from ..sql.translate import Schema, SqlTranslator
+
+#: Cap on the structural verdict cache; on overflow the oldest quarter is
+#: evicted (dicts iterate insertion-first), bounding a very long session.
+_VERDICT_CACHE_LIMIT = 65536
+
+#: Cap on the rewrite-verification cache.  Entries are heavy (full
+#: VerifiedRewriting lists with equivalence reports), so the cap is much
+#: lower than the verdict cache's; eviction is oldest-quarter, same scheme.
+_REWRITE_CACHE_LIMIT = 256
+
+#: Anything :meth:`Workspace.add` accepts.
+QueryLike = Union[Query, str]
+
+
+@dataclass(frozen=True)
+class WorkspaceStats:
+    """Counters describing how much work a workspace has reused."""
+
+    queries: int
+    views: int
+    decided_cells: int
+    verdict_cache_hits: int
+    rewrite_cache_hits: int
+    pool_forks: int
+    workers: int
+
+
+class Workspace:
+    """A long-lived session over a growing catalog of queries and views.
+
+    ``workers=N`` gives the session a persistent process pool (``None``
+    consults ``REPRO_WORKERS``; 1 means serial); ``schema`` declares base
+    tables for the SQL front door (``{table: [column, ...]}``); the decision
+    parameters (``domain``, ``max_subsets``, ``counterexample_trials``,
+    ``unknown_bound``, ``seed``, ``normalize``, ``shared_base``, ``sweep``)
+    mirror :func:`repro.workloads.batch.equivalence_matrix` and apply to
+    every decision the session makes.  Use as a context manager (or call
+    :meth:`close`) to release the pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        schema: Optional[Schema] = None,
+        domain: Domain = Domain.RATIONALS,
+        max_subsets: int = 2_000_000,
+        counterexample_trials: int = 400,
+        unknown_bound: Optional[int] = None,
+        seed: Optional[int] = None,
+        normalize: bool = True,
+        shared_base: bool = True,
+        sweep: bool = True,
+        rewrite_limit: int = 32,
+    ):
+        self._domain = domain
+        self._max_subsets = max_subsets
+        self._counterexample_trials = counterexample_trials
+        self._unknown_bound = unknown_bound
+        self._seed = seed
+        self._normalize = normalize
+        self._shared_base = shared_base
+        self._sweep = sweep
+        self._rewrite_limit = rewrite_limit
+        if executor is not None:
+            self._executor: Optional[Executor] = executor
+            self._owns_executor = False
+            self._workers = workers if workers is not None else getattr(executor, "workers", 1)
+        else:
+            count = (
+                1
+                if in_worker()
+                else (default_workers() if workers is None else max(1, int(workers)))
+            )
+            self._executor = PersistentProcessExecutor(count) if count > 1 else None
+            self._owns_executor = self._executor is not None
+            self._workers = count
+        self._translator = SqlTranslator(schema or {})
+        self._views: dict[str, View] = {}
+        self._queries: dict[str, Query] = {}
+        self._results: dict[tuple[str, str], EquivalenceResult] = {}
+        self._verdict_cache: dict[tuple[Query, Query], EquivalenceResult] = {}
+        self._context: Optional[SharedBaseContext] = None
+        self._engine: Optional[RewritingEngine] = None
+        self._rewrite_cache: dict[
+            tuple[Query, int],
+            tuple[list[VerifiedRewriting], list[RejectedCandidate]],
+        ] = {}
+        self._decided_cells = 0
+        self._verdict_cache_hits = 0
+        self._rewrite_cache_hits = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """End the session: terminate the owned worker pool.  Idempotent;
+        a closed workspace refuses further work."""
+        self._closed = True
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()  # type: ignore[union-attr]
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ReproError("this workspace has been closed")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> dict[str, Query]:
+        """The current catalog (a copy; mutate through add/discard)."""
+        return dict(self._queries)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._queries))
+
+    @property
+    def views(self) -> ViewCatalog:
+        """The session's registered views, as a catalog."""
+        return ViewCatalog(self._views.values())
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The session executor (``None`` when the session runs serially)."""
+        return self._executor
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    def __getitem__(self, name: str) -> Query:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise ReproError(f"workspace has no query named {name!r}") from None
+
+    def stats(self) -> WorkspaceStats:
+        """Reuse counters: decided vs cache-served cells, pool forks, ..."""
+        return WorkspaceStats(
+            queries=len(self._queries),
+            views=len(self._views),
+            decided_cells=self._decided_cells,
+            verdict_cache_hits=self._verdict_cache_hits,
+            rewrite_cache_hits=self._rewrite_cache_hits,
+            pool_forks=getattr(self._executor, "forks", 0) if self._executor else 0,
+            workers=self._workers,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion: the unified front door
+    # ------------------------------------------------------------------
+    def add(self, query: QueryLike, *, name: Optional[str] = None) -> str:
+        """Add a query to the catalog and return its catalog name.
+
+        ``query`` may be a :class:`Query`, a Datalog string
+        (``"q(x, sum(y)) :- p(x, y)"``), or a SQL SELECT statement (which
+        requires the session ``schema``).  ``name`` fixes the catalog name
+        (an explicit duplicate raises); without one, the query's own head
+        name is used and de-duplicated (``q``, ``q_2``, ...).  Adding never
+        invalidates anything: settled cells stay settled, and the next
+        :meth:`equivalences` call decides only the new cells.
+        """
+        self._require_open()
+        parsed = self._coerce_query(query, name)
+        if name is not None:
+            if name in self._queries:
+                raise ReproError(f"workspace already has a query named {name!r}")
+            label = name
+        else:
+            label = parsed.name or "q"
+            suffix = 2
+            while label in self._queries:
+                label = f"{parsed.name}_{suffix}"
+                suffix += 1
+        self._queries[label] = parsed
+        return label
+
+    def discard(self, name: str) -> Query:
+        """Remove a query and its settled cells from the catalog.
+
+        The widened shared context is kept (it stays sound — it only ever
+        enlarges the set of small databases examined), so re-adding queries
+        later keeps hitting the warmed caches.
+        """
+        self._require_open()
+        if name not in self._queries:
+            raise ReproError(f"workspace has no query named {name!r}")
+        removed = self._queries.pop(name)
+        for pair in [pair for pair in self._results if name in pair]:
+            del self._results[pair]
+        return removed
+
+    def register_view(
+        self,
+        view: Union[View, str],
+        definition: Optional[QueryLike] = None,
+        *,
+        columns: Optional[Sequence[str]] = None,
+    ) -> View:
+        """Register a materialized view with the session.
+
+        Accepts a :class:`View`, a ``CREATE VIEW ... AS SELECT ...`` SQL
+        statement, or a ``(name, definition)`` pair where ``definition`` is a
+        Datalog string or :class:`Query`.  The view always joins the
+        rewriting catalog; it additionally joins the SQL schema (readable
+        from later SELECTs) when its name is SQL-addressable — the SQL
+        parser lowercases table references, so a mixed-case Datalog view
+        stays rewriting-only rather than being rejected.  Registering
+        invalidates the session's rewriting caches, since new views change
+        which rewritings exist.
+        """
+        self._require_open()
+        if isinstance(view, View):
+            if definition is not None:
+                raise ReproError("pass either a View or a (name, definition) pair, not both")
+            registered = self._adopt_datalog_view(view, columns)
+        elif isinstance(view, str) and definition is not None:
+            body = definition if isinstance(definition, Query) else parse_query(definition)
+            registered = self._adopt_datalog_view(View(view, body), columns)
+        elif isinstance(view, str):
+            registered = self._translator.register_view(view)
+            self._views[registered.name] = registered
+        else:
+            raise ReproError(
+                f"register_view expects a View, CREATE VIEW SQL, or a "
+                f"(name, definition) pair, got {view!r}"
+            )
+        try:
+            self.views  # validates name/predicate clashes across the catalog
+        except RewritingError:
+            self._views.pop(registered.name, None)
+            self._translator.remove_view(registered.name)
+            raise
+        # Invalidate only once the registration is known-good: a rejected
+        # view leaves the catalog — and therefore the cached verification
+        # work — untouched.
+        self._engine = None
+        self._rewrite_cache.clear()
+        return registered
+
+    def _adopt_datalog_view(self, view: View, columns: Optional[Sequence[str]]) -> View:
+        if view.name in self._views:
+            raise RewritingError(f"duplicate view name {view.name!r}")
+        if view.name == view.name.lower():
+            # SQL-addressable: join the translator's schema too (and respect
+            # its collision rules).
+            self._translator.adopt_view(view, columns)
+        self._views[view.name] = view
+        return view
+
+    def _coerce_query(self, query: QueryLike, name: Optional[str]) -> Query:
+        if isinstance(query, Query):
+            return query
+        if isinstance(query, str):
+            text = query.strip()
+            if _looks_like_sql(text):
+                return self._translator.translate(text, name=name or "q")
+            return parse_query(text)
+        raise ReproError(
+            f"add() expects a Query, a Datalog string, or a SQL SELECT, got {query!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # The delta equivalence matrix
+    # ------------------------------------------------------------------
+    def equivalences(self) -> dict[tuple[str, str], EquivalenceResult]:
+        """The equivalence matrix of the current catalog.
+
+        Returns ``{(name_a, name_b): result}`` for every unordered pair with
+        ``name_a < name_b`` — exactly what
+        :func:`repro.workloads.equivalence_matrix` returns for the same
+        catalog — but only the *delta* cells (pairs no earlier call settled)
+        are decided; everything else is served from the session.  Delta cells
+        go through the structural verdict cache first, then to
+        :func:`~repro.workloads.batch.decide_pairs` under the persistent
+        shared context and session executor.
+        """
+        self._require_open()
+        names = sorted(self._queries)
+        pairs = [
+            (name_a, name_b)
+            for position, name_a in enumerate(names)
+            for name_b in names[position + 1 :]
+        ]
+        undecided: list[tuple[str, str]] = []
+        for pair in pairs:
+            if pair in self._results:
+                continue
+            cached = self._verdict_cache.get((self._queries[pair[0]], self._queries[pair[1]]))
+            if cached is not None:
+                # A structurally identical pair was already decided (under
+                # other names).  Verdict/method/details transfer verbatim;
+                # hand out a copy so per-cell consumers never alias.
+                self._results[pair] = replace(cached)
+                self._verdict_cache_hits += 1
+            else:
+                undecided.append(pair)
+        if undecided:
+            from ..workloads.batch import decide_pairs
+
+            decided = decide_pairs(
+                self._queries,
+                undecided,
+                domain=self._domain,
+                counterexample_trials=self._counterexample_trials,
+                max_subsets=self._max_subsets,
+                unknown_bound=self._unknown_bound,
+                workers=self._workers,
+                executor=self._executor,
+                seed=self._seed,
+                normalize=self._normalize,
+                shared_base=self._shared_base,
+                sweep=self._sweep,
+                context=self._current_context(),
+            )
+            for pair, result in decided.items():
+                self._results[pair] = result
+                self._cache_verdict(pair, result)
+                self._decided_cells += 1
+        return {pair: self._results[pair] for pair in sorted(pairs)}
+
+    def _cache_verdict(self, pair: tuple[str, str], result: EquivalenceResult) -> None:
+        if len(self._verdict_cache) >= _VERDICT_CACHE_LIMIT:
+            for stale in list(self._verdict_cache)[: _VERDICT_CACHE_LIMIT // 4]:
+                del self._verdict_cache[stale]
+        self._verdict_cache[(self._queries[pair[0]], self._queries[pair[1]])] = result
+
+    def _current_context(self) -> Optional[SharedBaseContext]:
+        """The session's shared BASE recipe, grown monotonically.
+
+        Widening is always sound (an EQUIVALENT verdict at a larger bound
+        still implies τ-equivalence, and any counterexample is concrete), and
+        monotonicity is what makes the session's cache keys stable: once the
+        catalog's constants and maximal pair bound stop growing, every later
+        delta decision re-derives exactly the BASE recipes — hence the warmed
+        Γ / signature / group-index cache entries — of the earlier calls.
+        """
+        if not self._shared_base:
+            return None
+        fresh = SharedBaseContext.from_catalog(self._queries.values())
+        if fresh is None:
+            return self._context
+        if self._context is not None:
+            fresh = SharedBaseContext(
+                tuple(sorted(set(fresh.constants) | set(self._context.constants), key=str)),
+                max(fresh.bound, self._context.bound),
+            )
+        self._context = fresh
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Rewriting
+    # ------------------------------------------------------------------
+    def rewrite(
+        self,
+        query: QueryLike,
+        *,
+        database: Optional[Database] = None,
+        limit: Optional[int] = None,
+    ) -> RewritingReport:
+        """Synthesize, verify, and rank rewritings of ``query`` over the
+        session's view catalog (see :func:`repro.rewriting.rewrite`).
+
+        Verification runs through the session executor — the persistent pool
+        is reused, never re-forked — and its outcomes are cached per
+        (query, limit): repeated calls (or calls differing only in the
+        ranking ``database``) skip straight to report assembly.
+        """
+        self._require_open()
+        parsed = self._coerce_query(query, None)
+        cap = self._rewrite_limit if limit is None else limit
+        engine = self._rewriting_engine()
+        key = (parsed, cap)
+        cached = self._rewrite_cache.get(key)
+        if cached is None:
+            candidates, rejected = engine.candidates(parsed, limit=cap)
+            verified = engine.verify(
+                parsed,
+                candidates,
+                workers=self._workers,
+                executor=self._executor,
+                seed=self._seed,
+            )
+            cached = (verified, rejected)
+            if len(self._rewrite_cache) >= _REWRITE_CACHE_LIMIT:
+                for stale in list(self._rewrite_cache)[: _REWRITE_CACHE_LIMIT // 4]:
+                    del self._rewrite_cache[stale]
+            self._rewrite_cache[key] = cached
+        else:
+            self._rewrite_cache_hits += 1
+        verified, rejected = cached
+        # Each report gets its own VerifiedRewriting wrappers: assemble_report
+        # fills estimated_cost in place, and a later call with a different
+        # ranking database must not rewrite the costs inside reports already
+        # handed out.
+        return assemble_report(
+            parsed, [replace(outcome) for outcome in verified], rejected,
+            engine.views, database,
+        )
+
+    def _rewriting_engine(self) -> RewritingEngine:
+        if self._engine is None:
+            self._engine = RewritingEngine(
+                self.views,
+                domain=self._domain,
+                max_subsets=self._max_subsets,
+                counterexample_trials=self._counterexample_trials,
+                unknown_bound=self._unknown_bound,
+                normalize=self._normalize,
+                shared_base=self._shared_base,
+                sweep=self._sweep,
+            )
+        return self._engine
+
+
+def _looks_like_sql(text: str) -> bool:
+    head = text.lstrip().split(None, 1)
+    return bool(head) and head[0].upper() == "SELECT"

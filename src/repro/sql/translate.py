@@ -24,7 +24,7 @@ the supported fragment.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from ..datalog.atoms import Comparison, ComparisonOp, RelationalAtom
 from ..datalog.conditions import Condition
@@ -46,11 +46,20 @@ class SqlTranslator:
     the view's columns join the schema, so later SELECTs can read the view
     like a base table, and :meth:`view_catalog` hands the registered
     definitions to the rewriting engine (:func:`repro.rewriting.rewrite`).
+
+    A translator is session state: ``views`` seeds it with an existing view
+    collection (e.g. a workspace's Datalog-registered views), and
+    :meth:`adopt_view` admits a view defined outside SQL — so one translator
+    instance serves a whole :class:`repro.session.Workspace`, with the SQL
+    and Datalog front doors sharing a single schema and view catalog instead
+    of each call rebuilding its own.
     """
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, views: Iterable[View] = ()):
         self.schema = {table.lower(): [c.lower() for c in columns] for table, columns in schema.items()}
         self.views: dict[str, View] = {}
+        for view in views:
+            self.adopt_view(view)
 
     # ------------------------------------------------------------------
     # Public API
@@ -114,9 +123,57 @@ class SqlTranslator:
         except RewritingError as error:
             raise QuerySyntaxError(f"cannot register view {statement.name!r}: {error}") from error
         columns = self._view_columns(statement, query, view)
-        self.schema[statement.name] = list(columns)
-        self.views[statement.name] = view
+        return self.adopt_view(view, columns)
+
+    def adopt_view(self, view: View, columns: Optional[Sequence[str]] = None) -> View:
+        """Admit a view defined outside SQL (a Datalog :class:`View`) into
+        the translator's schema and view catalog.
+
+        ``columns`` names the stored columns; by default they derive from the
+        view head (variable names, plus ``<function>_<argument>`` for the
+        aggregate column), so a workspace-registered Datalog view is readable
+        from later SQL SELECTs like any base table.
+
+        The view name must be lowercase: the SQL parser lowercases every
+        table reference, so a mixed-case predicate could never be addressed
+        from a SELECT (and would dodge the schema collision check).
+        """
+        if view.name != view.name.lower():
+            raise QuerySyntaxError(
+                f"view name {view.name!r} is not lowercase; SQL table references "
+                "are case-insensitive, so SQL-visible views must use lowercase "
+                "predicate names"
+            )
+        if view.name in self.schema:
+            raise QuerySyntaxError(
+                f"view name {view.name!r} collides with an existing table or view"
+            )
+        if columns is None:
+            derived = [variable.name for variable in view.head_variables]
+            aggregate = view.query.aggregate
+            if aggregate is not None:
+                suffix = aggregate.arguments[0].name if aggregate.arguments else "all"
+                derived.append(f"{aggregate.function}_{suffix}")
+            columns = derived
+        if len(columns) != view.arity:
+            raise QuerySyntaxError(
+                f"view {view.name!r} declares {len(columns)} column(s) "
+                f"but stores {view.arity}"
+            )
+        lowered = [column.lower() for column in columns]
+        if len(set(lowered)) != len(lowered):
+            raise QuerySyntaxError(f"view {view.name!r} repeats a column name")
+        self.schema[view.name] = lowered
+        self.views[view.name] = view
         return view
+
+    def remove_view(self, name: str) -> None:
+        """Withdraw a registered view from the schema and view catalog (the
+        rollback counterpart of :meth:`adopt_view`; unknown names are a
+        no-op).  Callers must not reach into ``schema``/``views`` directly —
+        this method is what keeps the two in step."""
+        if self.views.pop(name, None) is not None:
+            self.schema.pop(name, None)
 
     def view_catalog(self) -> ViewCatalog:
         """The registered views, as a catalog the rewriting engine accepts."""

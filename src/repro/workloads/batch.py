@@ -358,11 +358,14 @@ def decide_pairs(
     shared_base: bool = True,
     sweep: bool = True,
     pair_runner=run_pair_task,
+    context: Optional[SharedBaseContext] = None,
 ) -> dict[tuple[str, str], EquivalenceResult]:
     """Decide a set of catalog cells: the shared engine behind
-    :func:`equivalence_matrix` (all unordered pairs) and the rewriting
-    verifier (:meth:`repro.rewriting.engine.RewritingEngine.verify`, one row
-    of (target, candidate) cells).
+    :func:`equivalence_matrix` (all unordered pairs), the incremental
+    session (:meth:`repro.session.Workspace.equivalences`, the delta cells
+    of a growing catalog), and the rewriting verifier
+    (:meth:`repro.rewriting.engine.RewritingEngine.verify`, one row of
+    (target, candidate) cells).
 
     ``pairs`` restricts the work to the given cells (``None`` means every
     unordered pair); ``pair_runner`` lets callers wrap the per-cell task
@@ -370,8 +373,16 @@ def decide_pairs(
     rewriting engine uses this to degrade budget-blown cells to UNKNOWN
     instead of aborting the batch).  Sweep-eligible cells are decided in
     single-sweep groups; everything else runs through ``pair_runner``.
+
+    ``context`` supplies a session-held :class:`SharedBaseContext` instead of
+    rebuilding one from the catalog — a workspace deciding only its delta
+    cells still widens them to the *full* catalog's BASE, so the sweep-group
+    recipes (and the Γ cache entries keyed under them) match the ones its
+    earlier calls already warmed.  ``None`` keeps the one-shot behavior:
+    derive the context from ``queries`` when ``shared_base`` is set.
     """
-    context = SharedBaseContext.from_catalog(queries.values()) if shared_base else None
+    if context is None and shared_base:
+        context = SharedBaseContext.from_catalog(queries.values())
     results: dict[tuple[str, str], EquivalenceResult] = {}
     pair_subset = pairs
     if sweep:
@@ -449,22 +460,32 @@ def equivalence_matrix(
     of worker scheduling; ``shared_base`` activates the catalog-wide BASE
     that aligns the sweeps with the pair tasks and lets pairs reaching the
     bounded procedure reuse memoized Γ(q, S_L).
+
+    .. deprecated:: prefer :class:`repro.session.Workspace` for anything
+       beyond a one-shot matrix — this function is now a thin shim over an
+       ephemeral workspace, so every call rebuilds the shared BASE, re-warms
+       the caches, and (with ``workers``) re-forks a pool that a session
+       would keep alive.  ``ws = Workspace(workers=N)`` + ``ws.add(...)`` +
+       ``ws.equivalences()`` returns the identical matrix and decides only
+       delta cells on later calls.
     """
-    results = decide_pairs(
-        queries,
-        None,
+    from ..session import Workspace
+
+    with Workspace(
+        workers=workers,
+        executor=executor,
         domain=domain,
         counterexample_trials=counterexample_trials,
         max_subsets=max_subsets,
         unknown_bound=unknown_bound,
-        workers=workers,
-        executor=executor,
         seed=seed,
         normalize=normalize,
         shared_base=shared_base,
         sweep=sweep,
-    )
-    return dict(sorted(results.items()))
+    ) as workspace:
+        for name, query in queries.items():
+            workspace.add(query, name=name)
+        return workspace.equivalences()
 
 
 def format_equivalence_matrix(

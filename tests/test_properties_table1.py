@@ -6,9 +6,11 @@ import pytest
 
 from repro.aggregates import (
     AVG,
+    BOT2,
     CNTD,
     COUNT,
     MAX,
+    MIN,
     PAPER_FUNCTIONS,
     PARITY,
     PROD,
@@ -16,6 +18,7 @@ from repro.aggregates import (
     TOP2,
     PAPER_TABLE1,
     build_table1,
+    duplicate_insensitivity_counterexample,
     format_table1,
     group_decomposition_counterexample,
     idempotent_decomposition_counterexample,
@@ -50,6 +53,31 @@ class TestShiftability:
         before_prod = PROD.apply([2, 2]) == PROD.apply([4])
         after_prod = PROD.apply([shift[2], shift[2]]) == PROD.apply([shift[4]])
         assert before_prod and not after_prod
+
+
+class TestDuplicateInsensitivity:
+    """The duplicate-tolerance trait (readmits max/min/topK/cntd over
+    duplicating views in the rewriting unfolder) cross-validated against the
+    empirical checker."""
+
+    @pytest.mark.parametrize("function", [MAX, MIN, TOP2, BOT2, CNTD], ids=lambda f: f.name)
+    def test_insensitive_functions_have_no_counterexample(self, function, rng):
+        assert function.is_duplicate_insensitive
+        assert duplicate_insensitivity_counterexample(function, rng, trials=200) is None
+
+    @pytest.mark.parametrize(
+        "function", [COUNT, SUM, PROD, AVG, PARITY], ids=lambda f: f.name
+    )
+    def test_sensitive_functions_have_counterexamples(self, function, rng):
+        assert not function.is_duplicate_insensitive
+        witness = duplicate_insensitivity_counterexample(function, rng, trials=500)
+        assert witness is not None, f"{function.name} should distinguish duplicates"
+        assert witness.bag_value != witness.set_value
+
+    def test_declared_traits_match_empirical_search(self, rng):
+        for function in PAPER_FUNCTIONS:
+            witness = duplicate_insensitivity_counterexample(function, rng, trials=300)
+            assert (witness is None) == function.is_duplicate_insensitive, function.name
 
 
 class TestSingletonDetermination:

@@ -32,6 +32,7 @@ class TestPackageSurface:
         import repro.orderings as orderings
         import repro.parallel as parallel
         import repro.rewriting as rewriting
+        import repro.session as session
         import repro.sql as sql
         import repro.workloads as workloads
 
@@ -43,6 +44,7 @@ class TestPackageSurface:
             orderings,
             parallel,
             rewriting,
+            session,
             sql,
             workloads,
         ):

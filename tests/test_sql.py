@@ -204,6 +204,38 @@ class TestCreateView:
         )
         assert "v_sp" in query.predicates()
 
+    def test_adopt_view_makes_datalog_views_sql_readable(self):
+        from repro import View, parse_query
+
+        translator = SqlTranslator(SCHEMA)
+        translator.adopt_view(
+            View("sales_by_sp", parse_query("v(s, p, sum(a)) :- sales(s, p, a)"))
+        )
+        # Columns derive from the view head: s, p, sum_a.
+        assert translator.schema["sales_by_sp"] == ["s", "p", "sum_a"]
+        query = translator.translate(
+            "SELECT s, SUM(sum_a) FROM sales_by_sp GROUP BY s", name="rev"
+        )
+        assert "sales_by_sp" in query.predicates()
+        assert translator.view_catalog().get("sales_by_sp") is not None
+
+    def test_adopt_view_seeding_and_guards(self):
+        from repro import View, parse_query
+
+        sold = View("sold", parse_query("v(s, p) :- sales(s, p, a)"))
+        translator = SqlTranslator(SCHEMA, views=[sold])
+        assert translator.schema["sold"] == ["s", "p"]
+        with pytest.raises(QuerySyntaxError, match="collides"):
+            translator.adopt_view(View("sales", parse_query("v(s) :- returns(s, p)")))
+        with pytest.raises(QuerySyntaxError, match="lowercase"):
+            # The SQL namespace is lowercase; a mixed-case predicate could
+            # never be addressed from a SELECT (and would dodge the check).
+            translator.adopt_view(View("Sold2", parse_query("v(s, p) :- sales(s, p, a)")))
+        with pytest.raises(QuerySyntaxError, match="column"):
+            translator.adopt_view(
+                View("bad", parse_query("v(s, p) :- sales(s, p, a)")), columns=["only"]
+            )
+
     def test_register_view_errors(self):
         translator = SqlTranslator(SCHEMA)
         with pytest.raises(QuerySyntaxError, match="collides"):
