@@ -1,10 +1,13 @@
 """Machine-readable benchmark records (the ``--json PATH`` flag).
 
 Each benchmark script emits a list of ``{"name": ..., "wall_s": ...,
-"speedup": ...}`` objects — one per headline measurement — so a perf
-trajectory can be tracked across PRs by collecting the files CI (or a
+"speedup": ..., "engine": ...}`` objects — one per headline measurement — so
+a perf trajectory can be tracked across PRs by collecting the files CI (or a
 developer) writes per run.  ``speedup`` is relative to the record's stated
-baseline (1.0 for the baselines themselves).
+baseline (1.0 for the baselines themselves).  ``engine`` names the evaluation
+back end (``naive`` | ``planned`` | ``compiled``) that produced the
+measurement; records that do not pin one explicitly are stamped with the
+process-wide active engine, so a trajectory never silently mixes back ends.
 """
 
 from __future__ import annotations
@@ -13,19 +16,33 @@ import json
 from typing import Optional, Sequence
 
 
-def json_record(name: str, wall_s: float, speedup: Optional[float]) -> dict:
-    """One benchmark record; ``speedup`` may be None when no baseline applies."""
+def json_record(
+    name: str,
+    wall_s: float,
+    speedup: Optional[float],
+    engine: Optional[str] = None,
+) -> dict:
+    """One benchmark record; ``speedup`` may be None when no baseline applies.
+
+    ``engine`` defaults to the active engine mode so every record names the
+    back end it measured even when the benchmark did not choose one.
+    """
+    if engine is None:
+        from repro.engine import active_engine
+
+        engine = active_engine()
     return {
         "name": name,
         "wall_s": round(float(wall_s), 6),
         "speedup": None if speedup is None else round(float(speedup), 3),
+        "engine": engine,
     }
 
 
 def write_json_records(path: str, records: Sequence[dict]) -> None:
     """Write the records as a JSON array (one file per benchmark run)."""
     for record in records:
-        missing = {"name", "wall_s", "speedup"} - set(record)
+        missing = {"name", "wall_s", "speedup", "engine"} - set(record)
         if missing:
             raise ValueError(f"benchmark record {record!r} lacks keys: {sorted(missing)}")
     with open(path, "w", encoding="utf-8") as handle:

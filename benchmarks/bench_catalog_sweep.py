@@ -115,6 +115,12 @@ def run_benchmark(quick: bool) -> dict:
     sweep_parallel, parallel_results = _timed(
         lambda: equivalence_matrix(catalog, workers=WORKERS, seed=7, sweep=True)
     )
+    # The same sweep pinned to the planned interpreter: the wall-clock drop
+    # from this to ``sweep_serial`` (which runs the default compiled engine)
+    # is the columnar-engine PR's contribution to the sweep path.
+    sweep_planned, planned_engine_results = _timed(
+        lambda: equivalence_matrix(catalog, workers=1, seed=7, sweep=True, engine="planned")
+    )
     pairwise, pairwise_results = _timed(
         lambda: equivalence_matrix(catalog, workers=1, seed=7, sweep=False)
     )
@@ -127,6 +133,7 @@ def run_benchmark(quick: bool) -> dict:
         assert sweep_cell.verdict is pairwise_cell.verdict, pair
         assert sweep_cell.method == pairwise_cell.method, pair
         assert parallel_results[pair].verdict is sweep_cell.verdict, pair
+        assert planned_engine_results[pair].verdict is sweep_cell.verdict, pair
 
     normalized_cell = sweep_results[("unit_count", "unit_sum")]
     equivalent_cells = sum(1 for cell in sweep_results.values() if cell.is_equivalent)
@@ -139,8 +146,10 @@ def run_benchmark(quick: bool) -> dict:
         "equivalent_cells": equivalent_cells,
         "sweep_serial": sweep_serial,
         "sweep_parallel": sweep_parallel,
+        "sweep_planned": sweep_planned,
         "pairwise": pairwise,
         "speedup": pairwise / sweep_serial,
+        "engine_speedup": sweep_planned / sweep_serial,
         "normalized_verdict": normalized_cell.verdict.value,
         "normalized_method": normalized_cell.method,
     }
@@ -160,6 +169,9 @@ def _render(result: dict) -> list[str]:
         f"{result['sweep_serial']:.2f}s on one core ({result['speedup']:.1f}x, "
         f"floor {_floor(result['quick'])}x); sweep with {WORKERS} workers "
         f"{result['sweep_parallel']:.2f}s",
+        f"[E11:{mode}] engines: sweep on planned interpreter "
+        f"{result['sweep_planned']:.2f}s -> compiled kernels "
+        f"{result['sweep_serial']:.2f}s ({result['engine_speedup']:.1f}x)",
         f"[E11:{mode}] pinned-sum cell: {result['normalized_verdict']} "
         f"[{result['normalized_method']}]",
     ]
@@ -204,6 +216,18 @@ def main() -> int:
                     "catalog_sweep.sweep_workers2",
                     result["sweep_parallel"],
                     result["pairwise"] / result["sweep_parallel"],
+                ),
+                json_record(
+                    "catalog_sweep.sweep_planned_engine",
+                    result["sweep_planned"],
+                    1.0,
+                    engine="planned",
+                ),
+                json_record(
+                    "catalog_sweep.sweep_compiled_engine",
+                    result["sweep_serial"],
+                    result["engine_speedup"],
+                    engine="compiled",
                 ),
             ],
         )

@@ -1,3 +1,24 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-aggregate-equivalence",
+    version="0.6.0",
+    description=(
+        "Deciding equivalence of aggregate queries (PODS'01): decision "
+        "procedures, view rewriting, and a three-tier evaluation engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    # The core is dependency-free by design: the decision procedures, the
+    # planned interpreter, and the compiled engine's pure-python loop kernels
+    # run on the standard library alone.
+    install_requires=[],
+    extras_require={
+        # Enables the vectorized searchsorted join path of
+        # repro.engine.columnar for large relations; everything falls back to
+        # the loop kernels when NumPy is absent (or REPRO_NO_NUMPY=1).
+        "numpy": ["numpy"],
+        "test": ["pytest", "hypothesis"],
+    },
+)

@@ -511,6 +511,10 @@ def check_subset(
 #: quick counterexamples without paying for the pool, and they pre-warm the
 #: shared Γ / comparison caches (fork inherits them copy-on-write), so the
 #: workers stop re-deriving the heavily shared merged-partition signatures.
+#: Under the compiled engine the prefix also populates the module-level
+#: kernel and columnar-store caches (:mod:`repro.engine.compile` /
+#: :mod:`repro.engine.columnar`), so forked workers start with every plan of
+#: the sweep already code-generated instead of compiling per process.
 DEFAULT_SWEEP_WARM_PREFIX = 64
 
 
@@ -805,6 +809,8 @@ def sweep_equivalence(
             # merged-partition signatures are the most shared entries of the
             # Γ and comparison caches) before forking, so every worker
             # inherits a warm cache copy-on-write instead of re-deriving it.
+            # The same prefix compiles the sweep's plan kernels, which forked
+            # workers likewise inherit for free.
             # Session executors whose pool forks lazily on first use (see
             # :meth:`repro.parallel.executor.PersistentProcessExecutor.wants_warm_prefix`)
             # opt in for the run that performs the fork; an executor whose

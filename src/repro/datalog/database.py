@@ -21,7 +21,7 @@ class Database:
     ``(predicate, values)`` pairs; values are normalized to exact numbers.
     """
 
-    __slots__ = ("_facts", "_by_predicate", "_carrier", "_indexes")
+    __slots__ = ("_facts", "_by_predicate", "_carrier", "_indexes", "_sorted_carrier", "_distincts")
 
     def __init__(self, facts: Iterable = ()):  # noqa: ANN001 - heterogeneous input
         normalized: set[GroundAtom] = set()
@@ -38,6 +38,8 @@ class Database:
         }
         self._carrier: frozenset[NumericValue] = frozenset(carrier)
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, tuple[tuple, ...]]] = {}
+        self._sorted_carrier: tuple[NumericValue, ...] | None = None
+        self._distincts: dict[tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -63,6 +65,32 @@ class Database:
 
     def contains(self, predicate: str, values: Sequence[NumericValue]) -> bool:
         return tuple(values) in self._by_predicate.get(predicate, frozenset())
+
+    def sorted_carrier(self) -> tuple[NumericValue, ...]:
+        """carr(D) sorted ascending — the interning order of the columnar
+        store: a constant's *rank* in this tuple is its interned id, so id
+        comparisons and value comparisons agree.  Computed lazily once (the
+        database is immutable)."""
+        cached = self._sorted_carrier
+        if cached is None:
+            cached = tuple(sorted(self._carrier))
+            self._sorted_carrier = cached
+        return cached
+
+    def distinct_count(self, predicate: str, column: int) -> int:
+        """The number of distinct values in one column of a relation.
+
+        The planner's join-selectivity estimate (``rows / distinct``) reads
+        this; it is memoized per ``(predicate, column)`` — immutability makes
+        the count permanent.
+        """
+        key = (predicate, column)
+        cached = self._distincts.get(key)
+        if cached is None:
+            rows = self._by_predicate.get(predicate, frozenset())
+            cached = len({row[column] for row in rows if column < len(row)})
+            self._distincts[key] = cached
+        return cached
 
     def index(
         self, predicate: str, columns: tuple[int, ...]

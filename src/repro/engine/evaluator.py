@@ -22,6 +22,14 @@ for each distinct pair once.
 :func:`naive_satisfying_assignments` retains the original nested-loop engine
 as an executable specification; the differential tests and the scaling
 benchmark compare the planned engine against it.
+
+Every public entry point dispatches on the active engine mode
+(:mod:`repro.engine.modes`): ``naive`` routes Γ through the nested-loop
+reference, ``planned`` through the plan interpreter below, and ``compiled``
+(the default) through the columnar kernels of :mod:`repro.engine.compile` —
+with the set / bag-set / aggregate evaluators additionally skipping
+:class:`LabeledAssignment` materialization entirely and projecting inside the
+kernels.
 """
 
 from __future__ import annotations
@@ -39,6 +47,9 @@ from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..domains import NumericValue
 from ..errors import EvaluationError
+from . import compile as _compile
+from .columnar import clear_store_cache
+from .modes import ENGINE_COMPILED, ENGINE_NAIVE, active_engine
 from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
 
 
@@ -80,18 +91,25 @@ class LabeledAssignment:
 
 def satisfying_assignments(query: Query, database: Database) -> list[LabeledAssignment]:
     """Γ(q, D): all labeled satisfying assignments of the query over the
-    database."""
-    return list(_satisfying_assignments_cached(query, database))
+    database, computed by the active engine."""
+    mode = active_engine()
+    if mode == ENGINE_NAIVE:
+        return naive_satisfying_assignments(query, database)
+    return list(_satisfying_assignments_cached(query, database, mode))
 
 
 # A deliberately smaller cache than the symbolic engine's: concrete databases
 # from counterexample searches are mostly one-shot (each trial generates a
 # fresh random database, hit again only when it becomes a witness), so a large
-# cache would mainly retain dead (query, database, assignments) triples.
+# cache would mainly retain dead (query, database, assignments) triples.  The
+# engine mode is part of the key so differential runs that switch modes never
+# read a result the other engine produced.
 @lru_cache(maxsize=4096)
 def _satisfying_assignments_cached(
-    query: Query, database: Database
+    query: Query, database: Database, mode: str
 ) -> tuple[LabeledAssignment, ...]:
+    if mode == ENGINE_COMPILED:
+        return tuple(_compile.compiled_satisfying_assignments(query, database))
     results: list[LabeledAssignment] = []
     for index, disjunct in enumerate(query.disjuncts):
         plan = plan_condition(disjunct, lambda predicate: len(database.relation(predicate)))
@@ -101,8 +119,12 @@ def _satisfying_assignments_cached(
 
 
 def clear_evaluation_caches() -> None:
-    """Drop the memoized Γ(q, D) results (used for cold-cache benchmarks)."""
+    """Drop every concrete evaluation cache: the memoized Γ(q, D) results,
+    the compiled kernels, and the columnar stores (used for cold-cache
+    benchmarks and by tests that must observe re-compilation)."""
     _satisfying_assignments_cached.cache_clear()
+    _compile.clear_kernel_cache()
+    clear_store_cache()
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +324,9 @@ def _check_residual_literals(
 # ----------------------------------------------------------------------
 def evaluate_set(query: Query, database: Database) -> set[tuple]:
     """Set semantics: the relation q^D of Equation (1)."""
+    if active_engine() == ENGINE_COMPILED:
+        # Projection happens inside the kernels — Γ is never materialized.
+        return _compile.compiled_evaluate_set(query, database)
     results: set[tuple] = set()
     for assignment in satisfying_assignments(query, database):
         results.add(assignment.values_of(query.head_terms))
@@ -310,6 +335,8 @@ def evaluate_set(query: Query, database: Database) -> set[tuple]:
 
 def evaluate_bag_set(query: Query, database: Database) -> Counter:
     """Bag-set semantics: each answer tuple with its multiplicity."""
+    if active_engine() == ENGINE_COMPILED:
+        return _compile.compiled_evaluate_bag_set(query, database)
     results: Counter = Counter()
     for assignment in satisfying_assignments(query, database):
         results[assignment.values_of(query.head_terms)] += 1
@@ -341,6 +368,8 @@ def evaluate_aggregate(
         raise EvaluationError("evaluate_aggregate requires an aggregate query")
     if function is None:
         function = get_function(query.aggregate.function)
+    if active_engine() == ENGINE_COMPILED:
+        return _compile.compiled_evaluate_aggregate(query, database, function)
     aggregation_variables = query.aggregation_variables()
     results: dict[tuple, object] = {}
     for key, assignments in group_assignments(query, database).items():

@@ -23,20 +23,29 @@ The planner is greedy: at every point it first emits every binding, comparison
 and negation step that has become runnable (filters are always cheaper than
 joins, so they run as early as their variables allow), and only then picks the
 next positive atom — the one with the most already-bound argument positions,
-breaking ties towards the smaller relation.  This pushes selections below the
-join and turns Cartesian products into index lookups whenever the condition's
-join graph allows it.
+breaking ties towards the *estimated* smallest probe result.  This pushes
+selections below the join and turns Cartesian products into index lookups
+whenever the condition's join graph allows it.
+
+The estimate uses join selectivity when the caller can supply it: with a
+``distinct_count`` statistic (cheap to read off the columnar stores of
+:mod:`repro.engine.columnar`), an atom probed on bound columns is costed at
+``rows / max(distinct(column) for bound columns)`` — the classic uniform
+equality-selectivity model — instead of its raw size, so a large relation with
+a near-key bound column beats a smaller one probed on a low-cardinality
+column.  Without the statistic the estimate degenerates to the raw size,
+reproducing the original size-only tie-break exactly.
 
 Plans depend on the condition and, through the tie-breaking rule, on the
-*sizes* of the relations only — never on their contents — so they are cached
-per ``(condition, size signature)`` pair.
+relations' size/distinct *statistics* only — never on their contents — so
+they are cached per ``(condition, statistics signature)`` pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 from ..datalog.atoms import Comparison, RelationalAtom
 from ..datalog.conditions import Condition
@@ -93,23 +102,45 @@ class Plan:
     resolvable: bool = True
 
 
-def plan_condition(condition: Condition, relation_size: Callable[[str], int]) -> Plan:
+def plan_condition(
+    condition: Condition,
+    relation_size: Callable[[str], int],
+    distinct_count: Optional[Callable[[str, int], int]] = None,
+) -> Plan:
     """Compute (or fetch from cache) the execution plan for ``condition``.
 
     ``relation_size`` maps a predicate name to the number of rows it currently
-    holds; it only influences tie-breaking between equally-bound atoms.
+    holds; ``distinct_count`` (optional) maps ``(predicate, column)`` to the
+    number of distinct values in that column.  Both only influence
+    tie-breaking between equally-bound atoms: with distinct counts the
+    planner estimates the probe result size as ``rows / distinct`` of the
+    most selective bound column, without them it falls back to the raw size.
     """
+    arities: dict[str, int] = {}
+    for atom in condition.positive_atoms:
+        arities[atom.predicate] = max(arities.get(atom.predicate, 0), atom.arity)
     signature = tuple(
-        sorted((predicate, relation_size(predicate)) for predicate in condition.positive_predicates())
+        sorted(
+            (
+                predicate,
+                relation_size(predicate),
+                tuple(distinct_count(predicate, column) for column in range(arities[predicate]))
+                if distinct_count is not None
+                else None,
+            )
+            for predicate in condition.positive_predicates()
+        )
     )
     return _plan_condition_cached(condition, signature)
 
 
 @lru_cache(maxsize=4096)
 def _plan_condition_cached(
-    condition: Condition, size_signature: tuple[tuple[str, int], ...]
+    condition: Condition,
+    stats_signature: tuple[tuple[str, int, Optional[tuple[int, ...]]], ...],
 ) -> Plan:
-    sizes = dict(size_signature)
+    sizes = {predicate: size for predicate, size, _distincts in stats_signature}
+    distincts = {predicate: entry for predicate, _size, entry in stats_signature}
     steps: list[Step] = []
     bound: set[Variable] = set()
 
@@ -155,14 +186,37 @@ def _plan_condition_cached(
                     kept_negated.append(atom)
             remaining_negated[:] = kept_negated
 
+    def estimated_rows(atom: RelationalAtom, bound_positions: list[int]) -> int:
+        """The expected number of rows a probe on the bound columns returns:
+        ``rows / distinct`` of the most selective bound column under the
+        uniform-distribution model, or the raw size without statistics."""
+        size = sizes.get(atom.predicate, 0)
+        per_column = distincts.get(atom.predicate)
+        if per_column is None or not bound_positions:
+            return size
+        selectivity = max(
+            (per_column[position] for position in bound_positions if position < len(per_column)),
+            default=0,
+        )
+        return size // max(1, selectivity)
+
     emit_runnable_filters()
     while remaining_atoms:
         best_index = 0
-        best_key: tuple[int, int] | None = None
+        best_key: tuple[int, int, int] | None = None
         for index, atom in enumerate(remaining_atoms):
-            bound_count = sum(1 for argument in atom.arguments if is_bound(argument))
-            # Maximise bound positions, then prefer the smaller relation.
-            key = (-bound_count, sizes.get(atom.predicate, 0))
+            bound_positions = [
+                position
+                for position, argument in enumerate(atom.arguments)
+                if is_bound(argument)
+            ]
+            # Maximise bound positions, then prefer the smallest estimated
+            # probe result, then the smaller relation.
+            key = (
+                -len(bound_positions),
+                estimated_rows(atom, bound_positions),
+                sizes.get(atom.predicate, 0),
+            )
             if best_key is None or key < best_key:
                 best_key = key
                 best_index = index

@@ -49,6 +49,8 @@ from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
 from ..orderings.complete_orderings import CompleteOrdering
+from . import compile as _compile
+from .modes import ENGINE_COMPILED, active_engine
 from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
 
 
@@ -309,6 +311,11 @@ def _symbolic_assignments_cached(
 def _compute_symbolic_assignments(
     query: Query, database: SymbolicDatabase
 ) -> tuple[SymbolicAssignment, ...]:
+    # ``naive`` has no symbolic counterpart (the reference engine only exists
+    # over concrete databases), so anything but ``compiled`` runs the plan
+    # interpreter below.
+    if active_engine() == ENGINE_COMPILED:
+        return _compile.compiled_symbolic_assignments(query, database)
     results: list[SymbolicAssignment] = []
     for index, disjunct in enumerate(query.disjuncts):
         plan = plan_condition(disjunct, lambda predicate: len(database.relation(predicate)))
@@ -479,6 +486,10 @@ def symbolic_groups(
 def _compute_symbolic_groups(
     query: Query, database: SymbolicDatabase
 ) -> dict[tuple[Term, ...], list[tuple[Term, ...]]]:
+    if active_engine() == ENGINE_COMPILED:
+        # Grouping happens on interned id keys inside the compiled driver;
+        # Γ is never materialized as SymbolicAssignment objects.
+        return _compile.compiled_symbolic_groups(query, database)
     aggregation_variables = query.aggregation_variables()
     groups: dict[tuple[Term, ...], list[tuple[Term, ...]]] = {}
     for assignment in symbolic_satisfying_assignments(query, database):
@@ -510,6 +521,8 @@ def symbolic_answer_multiset(
 def _compute_answer_multiset(
     query: Query, database: SymbolicDatabase
 ) -> dict[tuple[Term, ...], int]:
+    if active_engine() == ENGINE_COMPILED:
+        return _compile.compiled_symbolic_multiset(query, database)
     result: dict[tuple[Term, ...], int] = {}
     for assignment in symbolic_satisfying_assignments(query, database):
         key = assignment.terms_of(query.head_terms, database)

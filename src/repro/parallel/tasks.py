@@ -43,6 +43,7 @@ from ..core.equivalence import EquivalenceResult, Verdict, are_equivalent
 from ..datalog.queries import Query
 from ..datalog.terms import Constant
 from ..domains import Domain
+from ..engine.modes import DEFAULT_ENGINE, active_engine, engine_scope
 from .executor import Executor, cancellation_requested, resolve_executor
 
 # ----------------------------------------------------------------------
@@ -66,6 +67,12 @@ class BoundedCheckTask:
     extra_constants: tuple[Constant, ...]
     seed: int
     chunk: tuple[tuple[int, tuple[int, ...]], ...]
+    #: The evaluation engine the parent had active when the task was built;
+    #: the runner restores it around the shard so spawn-started workers (which
+    #: re-read ``REPRO_ENGINE`` at import) still decide under the same engine.
+    #: Deliberately absent from ``_setup_key``: setups hold engine-neutral
+    #: state (BASE, orderings), so shards of differing engines may share one.
+    engine: str = DEFAULT_ENGINE
 
     def _setup_key(self) -> tuple:
         return (
@@ -122,17 +129,18 @@ def _setup_for(task: BoundedCheckTask) -> BoundedRunSetup:
 def run_bounded_check_task(task: BoundedCheckTask) -> BoundedCheckOutcome:
     """Execute one shard; stops early on the first counterexample or when the
     pool's cancellation event fires."""
-    setup = _setup_for(task)
-    stats = CheckStats()
-    base = setup.base
-    for position, indices in task.chunk:
-        if cancellation_requested():
-            return BoundedCheckOutcome(task.index, stats, cancelled=True)
-        stats.subsets_examined += 1
-        hit = check_subset(setup, frozenset(base[i] for i in indices), stats, task.seed)
-        if hit is not None:
-            return BoundedCheckOutcome(task.index, stats, ((position, hit[0]), hit[1]))
-    return BoundedCheckOutcome(task.index, stats)
+    with engine_scope(task.engine):
+        setup = _setup_for(task)
+        stats = CheckStats()
+        base = setup.base
+        for position, indices in task.chunk:
+            if cancellation_requested():
+                return BoundedCheckOutcome(task.index, stats, cancelled=True)
+            stats.subsets_examined += 1
+            hit = check_subset(setup, frozenset(base[i] for i in indices), stats, task.seed)
+            if hit is not None:
+                return BoundedCheckOutcome(task.index, stats, ((position, hit[0]), hit[1]))
+        return BoundedCheckOutcome(task.index, stats)
 
 
 def bounded_check_tasks(
@@ -167,6 +175,7 @@ def bounded_check_tasks(
             extra_constants=extra_constants,
             seed=seed,
             chunk=tuple(chunk),
+            engine=active_engine(),
         )
         for index, chunk in enumerate(chunks)
         if chunk
@@ -254,6 +263,9 @@ class SweepCheckTask:
     extra_constants: tuple[Constant, ...]
     seed: Optional[int]
     chunk: tuple[tuple[int, tuple[int, ...]], ...]
+    #: Engine captured at build time; restored by the runner (see
+    #: :class:`BoundedCheckTask`).
+    engine: str = DEFAULT_ENGINE
 
     def _setup_key(self) -> tuple:
         return (
@@ -346,7 +358,8 @@ def _run_sweep_rows(
 
 def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
     """Execute one row-shipping sweep shard."""
-    return _run_sweep_rows(task, task.chunk)
+    with engine_scope(task.engine):
+        return _run_sweep_rows(task, task.chunk)
 
 
 # ----------------------------------------------------------------------
@@ -377,6 +390,9 @@ class SweepRangeCheckTask:
     extra_constants: tuple[Constant, ...]
     seed: Optional[int]
     ranges: tuple[tuple[int, int], ...]
+    #: Engine captured at build time; restored by the runner (see
+    #: :class:`BoundedCheckTask`).
+    engine: str = DEFAULT_ENGINE
 
     def _setup_key(self) -> tuple:
         return (
@@ -391,7 +407,8 @@ class SweepRangeCheckTask:
 def run_sweep_range_task(task: SweepRangeCheckTask) -> SweepCheckOutcome:
     """Execute one range shard: re-enumerate the canonical stream locally and
     check the positions the ranges select."""
-    return _run_sweep_rows(task, _sweep_range_rows(task))
+    with engine_scope(task.engine):
+        return _run_sweep_rows(task, _sweep_range_rows(task))
 
 
 def block_cyclic_ranges(
@@ -439,6 +456,7 @@ def sweep_range_tasks(
             extra_constants=extra_constants,
             seed=seed,
             ranges=ranges,
+            engine=active_engine(),
         )
         for index, ranges in enumerate(block_cyclic_ranges(start, count, shards))
     ]
@@ -472,6 +490,7 @@ def sweep_check_tasks(
             extra_constants=extra_constants,
             seed=seed,
             chunk=tuple(chunk),
+            engine=active_engine(),
         )
         for index, chunk in enumerate(chunks)
         if chunk
@@ -590,6 +609,9 @@ class PairCheckTask:
     normalize: bool
     seed: Optional[int]
     context: Optional[SharedBaseContext]
+    #: Engine captured at build time; restored by the runner (see
+    #: :class:`BoundedCheckTask`).
+    engine: str = DEFAULT_ENGINE
 
 
 @dataclass
@@ -620,17 +642,18 @@ def run_pair_task(task: PairCheckTask) -> PairOutcome:
             details="one query is aggregate and the other is not",
         )
     else:
-        result = are_equivalent(
-            task.first,
-            task.second,
-            domain=task.domain,
-            counterexample_trials=task.counterexample_trials,
-            max_subsets=task.max_subsets,
-            unknown_bound=task.unknown_bound,
-            normalize=task.normalize,
-            seed=derive_pair_seed(task.seed, task.name_a, task.name_b),
-            context=task.context,
-        )
+        with engine_scope(task.engine):
+            result = are_equivalent(
+                task.first,
+                task.second,
+                domain=task.domain,
+                counterexample_trials=task.counterexample_trials,
+                max_subsets=task.max_subsets,
+                unknown_bound=task.unknown_bound,
+                normalize=task.normalize,
+                seed=derive_pair_seed(task.seed, task.name_a, task.name_b),
+                context=task.context,
+            )
     return PairOutcome(task.index, task.name_a, task.name_b, result)
 
 
@@ -675,6 +698,7 @@ def pair_check_tasks(
                 normalize=normalize,
                 seed=seed,
                 context=context,
+                engine=active_engine(),
             )
         )
     return tasks

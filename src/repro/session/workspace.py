@@ -57,6 +57,7 @@ from ..datalog.database import Database
 from ..datalog.parser import parse_query
 from ..datalog.queries import Query
 from ..domains import Domain
+from ..engine.modes import ENGINE_MODES, engine_scope
 from ..errors import ReproError, RewritingError
 from ..parallel.executor import (
     Executor,
@@ -109,8 +110,11 @@ class Workspace:
     parameters (``domain``, ``max_subsets``, ``counterexample_trials``,
     ``unknown_bound``, ``seed``, ``normalize``, ``shared_base``, ``sweep``)
     mirror :func:`repro.workloads.batch.equivalence_matrix` and apply to
-    every decision the session makes.  Use as a context manager (or call
-    :meth:`close`) to release the pool.
+    every decision the session makes.  ``engine`` pins the evaluation engine
+    (``"naive"`` | ``"planned"`` | ``"compiled"``) for every decision and
+    rewriting verification of the session; ``None`` follows the process-wide
+    mode (``REPRO_ENGINE``, default ``compiled``).  Use as a context manager
+    (or call :meth:`close`) to release the pool.
     """
 
     def __init__(
@@ -128,7 +132,13 @@ class Workspace:
         shared_base: bool = True,
         sweep: bool = True,
         rewrite_limit: int = 32,
+        engine: Optional[str] = None,
     ):
+        if engine is not None and engine not in ENGINE_MODES:
+            raise ReproError(
+                f"unknown engine mode {engine!r}; expected one of {', '.join(ENGINE_MODES)}"
+            )
+        self._engine_mode = engine
         self._domain = domain
         self._max_subsets = max_subsets
         self._counterexample_trials = counterexample_trials
@@ -403,6 +413,7 @@ class Workspace:
                 shared_base=self._shared_base,
                 sweep=self._sweep,
                 context=self._current_context(),
+                engine=self._engine_mode,
             )
             for pair, result in decided.items():
                 self._results[pair] = result
@@ -465,13 +476,16 @@ class Workspace:
         cached = self._rewrite_cache.get(key)
         if cached is None:
             candidates, rejected = engine.candidates(parsed, limit=cap)
-            verified = engine.verify(
-                parsed,
-                candidates,
-                workers=self._workers,
-                executor=self._executor,
-                seed=self._seed,
-            )
+            # The scope makes the verification task builders capture the
+            # session's engine, so pool workers verify under it too.
+            with engine_scope(self._engine_mode):
+                verified = engine.verify(
+                    parsed,
+                    candidates,
+                    workers=self._workers,
+                    executor=self._executor,
+                    seed=self._seed,
+                )
             cached = (verified, rejected)
             if len(self._rewrite_cache) >= _REWRITE_CACHE_LIMIT:
                 for stale in list(self._rewrite_cache)[: _REWRITE_CACHE_LIMIT // 4]:

@@ -63,20 +63,24 @@ from ..datalog.terms import Constant
 from ..domains import Domain
 from ..errors import ReproError
 from ..engine.evaluator import evaluate
+from ..engine.modes import engine_scope
 from ..parallel.executor import Executor, resolve_executor
 from ..parallel.tasks import pair_check_tasks, run_pair_task
 
 
 def evaluate_many(
-    queries: Mapping[str, Query], database: Database
+    queries: Mapping[str, Query], database: Database, *, engine: Optional[str] = None
 ) -> dict[str, object]:
     """Evaluate every query of the catalog over the database.
 
     Returns ``{name: result}`` where each result follows
     :func:`repro.engine.evaluate` (a dict for aggregate queries, a set of
-    tuples otherwise).
+    tuples otherwise).  ``engine`` pins the evaluation engine for this batch
+    (``"naive"`` | ``"planned"`` | ``"compiled"``); ``None`` uses the active
+    mode.
     """
-    return {name: evaluate(query, database) for name, query in queries.items()}
+    with engine_scope(engine):
+        return {name: evaluate(query, database) for name, query in queries.items()}
 
 
 # ----------------------------------------------------------------------
@@ -359,6 +363,7 @@ def decide_pairs(
     sweep: bool = True,
     pair_runner=run_pair_task,
     context: Optional[SharedBaseContext] = None,
+    engine: Optional[str] = None,
 ) -> dict[tuple[str, str], EquivalenceResult]:
     """Decide a set of catalog cells: the shared engine behind
     :func:`equivalence_matrix` (all unordered pairs), the incremental
@@ -380,51 +385,56 @@ def decide_pairs(
     recipes (and the Γ cache entries keyed under them) match the ones its
     earlier calls already warmed.  ``None`` keeps the one-shot behavior:
     derive the context from ``queries`` when ``shared_base`` is set.
+
+    ``engine`` pins the evaluation engine for the whole batch (``None`` keeps
+    the active mode); the task builders capture it, so worker processes decide
+    under the same engine as the caller.
     """
-    if context is None and shared_base:
-        context = SharedBaseContext.from_catalog(queries.values())
-    results: dict[tuple[str, str], EquivalenceResult] = {}
-    pair_subset = pairs
-    if sweep:
-        plan = plan_catalog_sweep(
+    with engine_scope(engine):
+        if context is None and shared_base:
+            context = SharedBaseContext.from_catalog(queries.values())
+        results: dict[tuple[str, str], EquivalenceResult] = {}
+        pair_subset = pairs
+        if sweep:
+            plan = plan_catalog_sweep(
+                queries,
+                domain=domain,
+                max_subsets=max_subsets,
+                normalize=normalize,
+                context=context,
+                pairs=pairs,
+            )
+            for group in plan.groups:
+                reports = sweep_equivalence(
+                    group.queries,
+                    group.pairs,
+                    group.bound,
+                    domain=domain,
+                    semantics=group.semantics,
+                    max_subsets=max_subsets,
+                    workers=workers,
+                    executor=executor,
+                    seed=seed,
+                    extra_constants=group.extra_constants,
+                )
+                for pair, report in reports.items():
+                    results[pair] = _sweep_cell_result(group, pair, report, domain, queries)
+            pair_subset = plan.pair_path
+        tasks = pair_check_tasks(
             queries,
             domain=domain,
+            counterexample_trials=counterexample_trials,
             max_subsets=max_subsets,
+            unknown_bound=unknown_bound,
             normalize=normalize,
+            seed=seed,
             context=context,
-            pairs=pairs,
+            pairs=pair_subset,
         )
-        for group in plan.groups:
-            reports = sweep_equivalence(
-                group.queries,
-                group.pairs,
-                group.bound,
-                domain=domain,
-                semantics=group.semantics,
-                max_subsets=max_subsets,
-                workers=workers,
-                executor=executor,
-                seed=seed,
-                extra_constants=group.extra_constants,
-            )
-            for pair, report in reports.items():
-                results[pair] = _sweep_cell_result(group, pair, report, domain, queries)
-        pair_subset = plan.pair_path
-    tasks = pair_check_tasks(
-        queries,
-        domain=domain,
-        counterexample_trials=counterexample_trials,
-        max_subsets=max_subsets,
-        unknown_bound=unknown_bound,
-        normalize=normalize,
-        seed=seed,
-        context=context,
-        pairs=pair_subset,
-    )
-    outcomes = resolve_executor(workers, executor).run(pair_runner, tasks)
-    for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index):
-        results[(outcome.name_a, outcome.name_b)] = outcome.result
-    return results
+        outcomes = resolve_executor(workers, executor).run(pair_runner, tasks)
+        for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index):
+            results[(outcome.name_a, outcome.name_b)] = outcome.result
+        return results
 
 
 def equivalence_matrix(
@@ -440,6 +450,7 @@ def equivalence_matrix(
     normalize: bool = True,
     shared_base: bool = True,
     sweep: bool = True,
+    engine: Optional[str] = None,
 ) -> dict[tuple[str, str], EquivalenceResult]:
     """Pairwise equivalence over a query catalog.
 
@@ -482,6 +493,7 @@ def equivalence_matrix(
         normalize=normalize,
         shared_base=shared_base,
         sweep=sweep,
+        engine=engine,
     ) as workspace:
         for name, query in queries.items():
             workspace.add(query, name=name)

@@ -83,6 +83,47 @@ class TestPlanShape:
         assert list(execute_plan(plan, database)) == []
 
 
+class TestJoinSelectivity:
+    """Distinct-count statistics (ISSUE 6 satellite): among equally-bound
+    atoms the planner must prefer the smallest *estimated* probe result
+    (``rows / distinct`` of the most selective bound column), not the
+    smallest relation."""
+
+    CONDITION = parse_query("q(x, y, z) :- s(x), a(x, y), b(x, z)").disjuncts[0]
+
+    def _order(self, sizes, distincts):
+        plan = plan_condition(
+            self.CONDITION,
+            lambda predicate: sizes[predicate],
+            lambda predicate, column: distincts[predicate][column],
+        )
+        return [step.atom.predicate for step in plan.steps if isinstance(step, AtomStep)]
+
+    def test_distinct_counts_break_equal_size_ties(self):
+        # Both joins probe on the bound x; a's first column is near-unique
+        # (est. 1 row per probe) while b's has two values (est. 500 rows).
+        sizes = {"s": 5, "a": 1000, "b": 1000}
+        selective_a = {"s": (5,), "a": (1000, 10), "b": (2, 10)}
+        assert self._order(sizes, selective_a) == ["s", "a", "b"]
+        # Swapping the statistics must flip the join order.
+        selective_b = {"s": (5,), "a": (2, 10), "b": (1000, 10)}
+        assert self._order(sizes, selective_b) == ["s", "b", "a"]
+
+    def test_selectivity_overrides_raw_size(self):
+        # b is 20x smaller, but every probe on it returns ~100 rows while a
+        # returns ~1 — the estimated result decides, not the relation size.
+        sizes = {"s": 5, "a": 2000, "b": 100}
+        distincts = {"s": (5,), "a": (2000, 3), "b": (1, 3)}
+        assert self._order(sizes, distincts) == ["s", "a", "b"]
+        # Without statistics the raw-size fallback picks the small relation,
+        # preserving the pre-statistics ordering.
+        assert self._order_without_stats(sizes) == ["s", "b", "a"]
+
+    def _order_without_stats(self, sizes):
+        plan = plan_condition(self.CONDITION, lambda predicate: sizes[predicate])
+        return [step.atom.predicate for step in plan.steps if isinstance(step, AtomStep)]
+
+
 class TestEngineCorners:
     """Pins the corners the removed ``_check_residual_literals`` pass claimed
     to guard: empty relations and 0-ary atoms."""
