@@ -8,6 +8,9 @@ baseline (1.0 for the baselines themselves).  ``engine`` names the evaluation
 back end (``naive`` | ``planned`` | ``compiled``) that produced the
 measurement; records that do not pin one explicitly are stamped with the
 process-wide active engine, so a trajectory never silently mixes back ends.
+``counters`` snapshots the metrics registry (:data:`repro.obs.REGISTRY`) at
+record time, so a perf regression can be cross-read against the work the run
+actually performed (kernel compiles, subsets enumerated, pool forks, ...).
 """
 
 from __future__ import annotations
@@ -21,21 +24,29 @@ def json_record(
     wall_s: float,
     speedup: Optional[float],
     engine: Optional[str] = None,
+    counters: Optional[dict] = None,
 ) -> dict:
     """One benchmark record; ``speedup`` may be None when no baseline applies.
 
     ``engine`` defaults to the active engine mode so every record names the
     back end it measured even when the benchmark did not choose one.
+    ``counters`` defaults to a snapshot of the metrics registry at the time
+    the record is built — the cumulative work counters of the run so far.
     """
     if engine is None:
         from repro.engine import active_engine
 
         engine = active_engine()
+    if counters is None:
+        from repro.obs import REGISTRY
+
+        counters = REGISTRY.snapshot()
     return {
         "name": name,
         "wall_s": round(float(wall_s), 6),
         "speedup": None if speedup is None else round(float(speedup), 3),
         "engine": engine,
+        "counters": dict(counters),
     }
 
 

@@ -83,6 +83,8 @@ from .errors import (
     UnsafeQueryError,
     UnsupportedAggregateError,
 )
+from . import obs
+from .obs import CellExplanation
 from .orderings import CompleteOrdering, ComparisonSystem, enumerate_complete_orderings
 from .rewriting import (
     RewritingEngine,
@@ -98,6 +100,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregationFunction",
+    "CellExplanation",
     "Comparison",
     "ComparisonOp",
     "ComparisonSystem",
@@ -145,6 +148,7 @@ __all__ = [
     "format_table2",
     "get_function",
     "local_equivalence",
+    "obs",
     "parse_database",
     "parse_query",
     "quasilinear_equivalent",

@@ -63,6 +63,8 @@ from ..engine.symbolic import (
     symbolic_groups,
 )
 from ..errors import ReproError, SearchSpaceBudgetError, UnsupportedAggregateError
+from ..obs import REGISTRY as _OBS
+from ..obs import span as _span
 from ..orderings.complete_orderings import CompleteOrdering, enumerate_complete_orderings
 
 #: Semantics under which non-aggregate queries are compared.
@@ -450,6 +452,32 @@ class CheckStats:
         self.identities_checked += other.identities_checked
 
 
+def _record_search_counters(
+    subsets_examined: int,
+    orderings_examined: int,
+    identities_checked: int,
+    subsets_skipped: int,
+) -> None:
+    """Fold one finished search's effort into the metrics registry.
+
+    Called exactly once per completed enumeration, from whichever process ran
+    it, with totals the search already accumulated (its ``CheckStats`` /
+    ``EquivalenceReport``) — never per subset, so the hot loops stay
+    uninstrumented and a parallel run's registry totals equal the serial
+    run's whenever the merged reports do.  A search that completes inside a
+    pool worker records into the worker's registry; the delta rides home on
+    the task outcome and lands under the parent's ``worker.`` scope.
+    """
+    if subsets_examined:
+        _OBS.inc("sweep.subsets.examined", subsets_examined)
+    if orderings_examined:
+        _OBS.inc("sweep.orderings.examined", orderings_examined)
+    if identities_checked:
+        _OBS.inc("sweep.identities.checked", identities_checked)
+    if subsets_skipped:
+        _OBS.inc("sweep.subsets.skipped", subsets_skipped)
+
+
 def check_subset(
     setup: BoundedRunSetup,
     subset: frozenset[RelationalAtom],
@@ -802,52 +830,74 @@ def sweep_equivalence(
                 open_pairs.remove(pair)
 
     base = setup.base
-    if workers > 1 or executor is not None:
-        subset_list = list(enumerator)
-        if executor is not None or len(subset_list) >= parallel_threshold:
-            # Warm prefix: the parent settles the small subsets itself (their
-            # merged-partition signatures are the most shared entries of the
-            # Γ and comparison caches) before forking, so every worker
-            # inherits a warm cache copy-on-write instead of re-deriving it.
-            # The same prefix compiles the sweep's plan kernels, which forked
-            # workers likewise inherit for free.
-            # Session executors whose pool forks lazily on first use (see
-            # :meth:`repro.parallel.executor.PersistentProcessExecutor.wants_warm_prefix`)
-            # opt in for the run that performs the fork; an executor whose
-            # pool already exists skips the prefix — its workers carry their
-            # own accumulated caches.
-            prefix = (
-                subset_list[: max(0, warm_prefix)]
-                if _executor_wants_warm_prefix(executor)
-                else []
-            )
-            check_serial(prefix)
-            remaining = subset_list[len(prefix) :]
-            if open_pairs and remaining:
-                from ..parallel.tasks import parallel_sweep_search
-
-                parallel_sweep_search(
-                    queries=tuple(catalog.items()),
-                    pairs=tuple(open_pairs),
-                    bound=bound,
-                    domain=domain,
-                    semantics=semantics,
-                    extra_constants=extra_constants,
-                    subsets=[
-                        (len(prefix) + offset, indices)
-                        for offset, indices in enumerate(remaining)
-                    ],
-                    reports=reports,
-                    stats=stats,
-                    workers=workers,
-                    executor=executor,
-                    seed=seed,
-                    ship=ship,
+    with _span(
+        "sweep.enumerate",
+        queries=len(catalog),
+        pairs=len(pair_list),
+        bound=bound,
+        base=len(base),
+    ) as sweep_span:
+        if workers > 1 or executor is not None:
+            subset_list = list(enumerator)
+            if executor is not None or len(subset_list) >= parallel_threshold:
+                # Warm prefix: the parent settles the small subsets itself
+                # (their merged-partition signatures are the most shared
+                # entries of the Γ and comparison caches) before forking, so
+                # every worker inherits a warm cache copy-on-write instead of
+                # re-deriving it.  The same prefix compiles the sweep's plan
+                # kernels, which forked workers likewise inherit for free.
+                # Session executors whose pool forks lazily on first use (see
+                # :meth:`repro.parallel.executor.PersistentProcessExecutor.wants_warm_prefix`)
+                # opt in for the run that performs the fork; an executor whose
+                # pool already exists skips the prefix — its workers carry
+                # their own accumulated caches.
+                prefix = (
+                    subset_list[: max(0, warm_prefix)]
+                    if _executor_wants_warm_prefix(executor)
+                    else []
                 )
+                check_serial(prefix)
+                remaining = subset_list[len(prefix) :]
+                if open_pairs and remaining:
+                    from ..parallel.tasks import parallel_sweep_search
+
+                    parallel_sweep_search(
+                        queries=tuple(catalog.items()),
+                        pairs=tuple(open_pairs),
+                        bound=bound,
+                        domain=domain,
+                        semantics=semantics,
+                        extra_constants=extra_constants,
+                        subsets=[
+                            (len(prefix) + offset, indices)
+                            for offset, indices in enumerate(remaining)
+                        ],
+                        reports=reports,
+                        stats=stats,
+                        workers=workers,
+                        executor=executor,
+                        seed=seed,
+                        ship=ship,
+                    )
+            else:
+                check_serial(subset_list)
         else:
-            check_serial(subset_list)
-    else:
-        check_serial(enumerator)
+            check_serial(enumerator)
+        sweep_span.note(
+            subsets=stats.subsets_examined, skipped=enumerator.skipped
+        )
+
+    # One registry record per sweep: ``stats`` already holds the merged
+    # totals (parent prefix + serial tail + every worker's shipped stats),
+    # while each *report* below receives a copy of the same group totals —
+    # recording from the reports would multiply the group's effort by its
+    # pair count.
+    _record_search_counters(
+        stats.subsets_examined,
+        stats.orderings_examined,
+        stats.identities_checked,
+        enumerator.skipped,
+    )
 
     for report in reports.values():
         stats.merge_into(report)
@@ -925,7 +975,7 @@ def bounded_equivalence(
         return report
 
     if mode == SCAN_ENUMERATION:
-        return _scan_bounded_search(setup, report, seed)
+        return _finish_bounded_report(_scan_bounded_search(setup, report, seed))
 
     enumerator: Optional[CanonicalSubsetEnumerator] = None
     if mode == CANONICAL_ENUMERATION:
@@ -953,35 +1003,52 @@ def bounded_equivalence(
         if executor is not None or len(subset_list) >= parallel_threshold:
             from ..parallel.tasks import parallel_bounded_search
 
-            return parallel_bounded_search(
-                first=first,
-                second=second,
-                bound=bound,
-                domain=domain,
-                semantics=semantics,
-                extra_constants=extra_constants,
-                subsets=subset_list,
-                report=report,
-                workers=workers,
-                executor=executor,
-                seed=seed,
+            return _finish_bounded_report(
+                parallel_bounded_search(
+                    first=first,
+                    second=second,
+                    bound=bound,
+                    domain=domain,
+                    semantics=semantics,
+                    extra_constants=extra_constants,
+                    subsets=subset_list,
+                    report=report,
+                    workers=workers,
+                    executor=executor,
+                    seed=seed,
+                )
             )
         subsets = iter(subset_list)
 
     # Serial path: enumerate lazily, so an early counterexample (often on a
     # tiny subset) is reported before the rest of the space is generated.
     base = setup.base
-    for indices in subsets:
-        report.subsets_examined += 1
-        hit = check_subset(setup, frozenset(base[i] for i in indices), report, seed)
-        if hit is not None:
-            report.equivalent = False
-            report.counterexample = hit[1]
-            if enumerator is not None:
-                report.subsets_skipped_by_symmetry = enumerator.skipped
-            return report
-    if enumerator is not None:
-        report.subsets_skipped_by_symmetry = enumerator.skipped
+    with _span("bounded.enumerate", bound=bound, base=len(base)) as bounded_span:
+        for indices in subsets:
+            report.subsets_examined += 1
+            hit = check_subset(setup, frozenset(base[i] for i in indices), report, seed)
+            if hit is not None:
+                report.equivalent = False
+                report.counterexample = hit[1]
+                if enumerator is not None:
+                    report.subsets_skipped_by_symmetry = enumerator.skipped
+                bounded_span.note(subsets=report.subsets_examined, settled="counterexample")
+                return _finish_bounded_report(report)
+        if enumerator is not None:
+            report.subsets_skipped_by_symmetry = enumerator.skipped
+        bounded_span.note(subsets=report.subsets_examined, settled="exhausted")
+    return _finish_bounded_report(report)
+
+
+def _finish_bounded_report(report: EquivalenceReport) -> EquivalenceReport:
+    """Record a finished pair-local search into the metrics registry (the
+    report totals already include any worker-shipped stats)."""
+    _record_search_counters(
+        report.subsets_examined,
+        report.orderings_examined,
+        report.identities_checked,
+        report.subsets_skipped_by_symmetry,
+    )
     return report
 
 

@@ -46,6 +46,7 @@ from ..datalog.queries import AggregateTerm, Query, term_size_of_pair
 from ..datalog.terms import Constant
 from ..domains import Domain
 from ..errors import SearchSpaceBudgetError, UndecidableError, UnsupportedAggregateError
+from ..obs import span as _span
 from .bounded import (
     Counterexample,
     EquivalenceReport,
@@ -276,6 +277,42 @@ def are_equivalent(
        a session keeps alive, and a workspace additionally serves repeated
        cells from its verdict cache.
     """
+    with _span(
+        "dispatch.classify", first=first.name, second=second.name
+    ) as dispatch_span:
+        result = _dispatch_equivalence(
+            first,
+            second,
+            domain=domain,
+            prefer_quasilinear=prefer_quasilinear,
+            max_subsets=max_subsets,
+            counterexample_trials=counterexample_trials,
+            unknown_bound=unknown_bound,
+            normalize=normalize,
+            seed=seed,
+            context=context,
+            workers=workers,
+        )
+        dispatch_span.note(verdict=result.verdict.value, method=result.method)
+    return result
+
+
+def _dispatch_equivalence(
+    first: Query,
+    second: Query,
+    domain: Domain = Domain.RATIONALS,
+    prefer_quasilinear: bool = True,
+    max_subsets: int = 2_000_000,
+    counterexample_trials: int = 400,
+    unknown_bound: Optional[int] = None,
+    *,
+    normalize: bool = True,
+    seed: Optional[int] = None,
+    context: Optional[SharedBaseContext] = None,
+    workers: Optional[int] = None,
+) -> EquivalenceResult:
+    """The dispatch body of :func:`are_equivalent` (which wraps it in the
+    ``dispatch.classify`` trace span)."""
     if first.is_aggregate != second.is_aggregate:
         raise UnsupportedAggregateError(
             "cannot compare an aggregate query with a non-aggregate query"
@@ -291,19 +328,20 @@ def are_equivalent(
         if reduction is not None:
             normalized_first, normalized_second, multiplier, notes = reduction
             try:
-                result = are_equivalent(
-                    normalized_first,
-                    normalized_second,
-                    domain=domain,
-                    prefer_quasilinear=prefer_quasilinear,
-                    max_subsets=max_subsets,
-                    counterexample_trials=counterexample_trials,
-                    unknown_bound=unknown_bound,
-                    normalize=False,
-                    seed=seed,
-                    context=context,
-                    workers=workers,
-                )
+                with _span("dispatch.normalize", multiplier=str(multiplier)):
+                    result = are_equivalent(
+                        normalized_first,
+                        normalized_second,
+                        domain=domain,
+                        prefer_quasilinear=prefer_quasilinear,
+                        max_subsets=max_subsets,
+                        counterexample_trials=counterexample_trials,
+                        unknown_bound=unknown_bound,
+                        normalize=False,
+                        seed=seed,
+                        context=context,
+                        workers=workers,
+                    )
             except SearchSpaceBudgetError:
                 # The count forms reached a bounded search whose subset space
                 # exceeds max_subsets.  The normalization is opportunistic —

@@ -94,6 +94,7 @@ from .planner import (
     NegationStep,
     Plan,
     clear_plan_cache,
+    plan_cache_stats,
     plan_condition,
 )
 from .symbolic import (
@@ -134,6 +135,7 @@ __all__ = [
     "clear_evaluation_caches",
     "clear_kernel_cache",
     "clear_plan_cache",
+    "plan_cache_stats",
     "clear_store_cache",
     "clear_symbolic_caches",
     "compare_symbolic_answers",

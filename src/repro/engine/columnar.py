@@ -46,6 +46,7 @@ from typing import Iterable, Optional
 
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
+from ..obs import REGISTRY as _OBS
 from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan
 
 try:  # pragma: no cover - exercised via both CI legs
@@ -296,7 +297,6 @@ class ColumnarStore:
 # ----------------------------------------------------------------------
 _STORE_CACHE: dict = {}
 _STORE_CACHE_LIMIT = 8192
-_STORE_STATS = {"builds": 0, "hits": 0}
 
 
 def store_for(database) -> ColumnarStore:  # noqa: ANN001
@@ -311,14 +311,14 @@ def store_for(database) -> ColumnarStore:  # noqa: ANN001
     """
     store = _STORE_CACHE.get(database)
     if store is None:
-        _STORE_STATS["builds"] += 1
+        _OBS.inc("engine.store.builds")
         store = ColumnarStore(database)
         if len(_STORE_CACHE) >= _STORE_CACHE_LIMIT:
             for stale in list(itertools.islice(iter(_STORE_CACHE), _STORE_CACHE_LIMIT // 4)):
                 del _STORE_CACHE[stale]
         _STORE_CACHE[database] = store
     else:
-        _STORE_STATS["hits"] += 1
+        _OBS.inc("engine.store.hits")
     return store
 
 
@@ -326,15 +326,14 @@ def clear_store_cache() -> None:
     """Drop every cached store (and with them the column indexes, matrices,
     and packed keys they hold)."""
     _STORE_CACHE.clear()
-    _STORE_STATS["builds"] = 0
-    _STORE_STATS["hits"] = 0
+    _OBS.reset("engine.store.")
 
 
 def store_cache_stats() -> dict[str, int]:
     return {
         "entries": len(_STORE_CACHE),
-        "builds": _STORE_STATS["builds"],
-        "hits": _STORE_STATS["hits"],
+        "builds": _OBS.get("engine.store.builds"),
+        "hits": _OBS.get("engine.store.hits"),
     }
 
 

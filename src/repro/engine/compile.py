@@ -47,6 +47,8 @@ from ..datalog.conditions import Condition
 from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
+from ..obs import REGISTRY as _OBS
+from ..obs import span as _span
 from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
 from .columnar import ColumnarStore, execute_plan_vector, store_for
 
@@ -242,7 +244,6 @@ def _compile_kernel(plan: Plan, output_terms: tuple[Term, ...]) -> Callable:
 # ----------------------------------------------------------------------
 _KERNEL_CACHE: dict = {}
 _KERNEL_CACHE_LIMIT = 4096
-_KERNEL_STATS = {"compiles": 0, "hits": 0}
 
 
 def get_kernel(plan: Plan, output_terms: tuple[Term, ...]) -> Callable:
@@ -256,31 +257,33 @@ def get_kernel(plan: Plan, output_terms: tuple[Term, ...]) -> Callable:
     key = (plan.steps, plan.resolvable, output_terms)
     kernel = _KERNEL_CACHE.get(key)
     if kernel is None:
-        _KERNEL_STATS["compiles"] += 1
-        kernel = _compile_kernel(plan, output_terms)
+        _OBS.inc("engine.kernel.compiles")
+        with _span("kernel.compile", steps=len(plan.steps)):
+            kernel = _compile_kernel(plan, output_terms)
         if len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
             for stale in list(itertools.islice(iter(_KERNEL_CACHE), _KERNEL_CACHE_LIMIT // 4)):
                 del _KERNEL_CACHE[stale]
         _KERNEL_CACHE[key] = kernel
     else:
-        _KERNEL_STATS["hits"] += 1
+        _OBS.inc("engine.kernel.hits")
     return kernel
 
 
 def clear_kernel_cache() -> None:
     """Drop every compiled kernel and reset the compile/hit counters."""
     _KERNEL_CACHE.clear()
-    _KERNEL_STATS["compiles"] = 0
-    _KERNEL_STATS["hits"] = 0
+    _OBS.reset("engine.kernel.")
 
 
 def kernel_cache_stats() -> dict[str, int]:
     """``{"entries", "compiles", "hits"}`` — the leak test asserts that a
-    steady-state workload stops growing ``compiles``."""
+    steady-state workload stops growing ``compiles``.  The counters live in
+    the metrics registry (``engine.kernel.*``); this view keeps the
+    historical shape."""
     return {
         "entries": len(_KERNEL_CACHE),
-        "compiles": _KERNEL_STATS["compiles"],
-        "hits": _KERNEL_STATS["hits"],
+        "compiles": _OBS.get("engine.kernel.compiles"),
+        "hits": _OBS.get("engine.kernel.hits"),
     }
 
 
@@ -297,8 +300,12 @@ def condition_rows(
     if store.vector_candidate(plan):
         rows = execute_plan_vector(plan, store, output_terms)
         if rows is not None:
+            _OBS.inc("engine.dispatch.vector")
             return rows
-    return get_kernel(plan, output_terms)(store)
+        _OBS.inc("engine.dispatch.vector_fallback")
+    _OBS.inc("engine.dispatch.loop")
+    with _span("kernel.execute"):
+        return get_kernel(plan, output_terms)(store)
 
 
 def _decoded_rows(

@@ -47,6 +47,7 @@ from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..domains import NumericValue
 from ..errors import EvaluationError
+from ..obs import REGISTRY as _OBS
 from . import compile as _compile
 from .columnar import clear_store_cache
 from .modes import ENGINE_COMPILED, ENGINE_NAIVE, active_engine
@@ -121,10 +122,21 @@ def _satisfying_assignments_cached(
 def clear_evaluation_caches() -> None:
     """Drop every concrete evaluation cache: the memoized Γ(q, D) results,
     the compiled kernels, and the columnar stores (used for cold-cache
-    benchmarks and by tests that must observe re-compilation)."""
+    benchmarks and by tests that must observe re-compilation).
+
+    Reset semantics for the metrics registry (pinned by the observability
+    regression tests): the ``engine.``-scope counters that describe these
+    caches reset with them — ``engine.kernel.*`` via ``clear_kernel_cache``,
+    ``engine.store.*`` via ``clear_store_cache``, plus the vector-vs-loop
+    ``engine.dispatch.*`` tallies here.  Everything else survives: the
+    shared-Γ counters (``engine.gamma.*``, owned by
+    ``clear_symbolic_caches``), and the ``sweep.``/``parallel.``/``worker.``
+    scopes, which describe work performed rather than cache state.
+    """
     _satisfying_assignments_cached.cache_clear()
     _compile.clear_kernel_cache()
     clear_store_cache()
+    _OBS.reset("engine.dispatch.")
 
 
 # ----------------------------------------------------------------------

@@ -237,3 +237,16 @@ def _plan_condition_cached(
 def clear_plan_cache() -> None:
     """Drop all cached plans (used by benchmarks for cold-cache timings)."""
     _plan_condition_cached.cache_clear()
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """``{"entries", "builds", "hits"}`` for the plan cache.
+
+    Read straight off ``lru_cache.cache_info()`` — ``plan_condition`` sits on
+    the warm compiled path, so unlike the kernel/store caches these counters
+    are not mirrored into the metrics registry per call; the registry's
+    hierarchical report samples this view instead (``clear_plan_cache`` resets
+    it along with the cache, matching the other engine-scope counters).
+    """
+    info = _plan_condition_cached.cache_info()
+    return {"entries": info.currsize, "builds": info.misses, "hits": info.hits}

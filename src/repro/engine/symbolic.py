@@ -48,6 +48,7 @@ from ..datalog.database import Database, build_column_index
 from ..datalog.queries import Query
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
+from ..obs import REGISTRY as _OBS
 from ..orderings.complete_orderings import CompleteOrdering
 from . import compile as _compile
 from .modes import ENGINE_COMPILED, active_engine
@@ -248,7 +249,6 @@ _GROUP_COMPARISON_BY_RELATIONS: dict[tuple, "GroupComparison"] = {}
 _ANSWER_COMPARISON_BY_RELATIONS: dict[tuple, bool] = {}
 _GROUP_INDEX_BY_RELATIONS: dict[tuple, dict] = {}
 _GROUP_INDEX_INTERN: dict[frozenset, dict] = {}
-_SHARED_GAMMA_STATS = {"hits": 0, "misses": 0}
 
 
 def _shared_cache_put(cache: dict, key, value) -> None:
@@ -270,8 +270,8 @@ def set_shared_gamma(enabled: bool) -> bool:
 def symbolic_cache_stats() -> dict[str, int]:
     """Hit/miss counters and sizes of the shared symbolic caches."""
     return {
-        "shared_hits": _SHARED_GAMMA_STATS["hits"],
-        "shared_misses": _SHARED_GAMMA_STATS["misses"],
+        "shared_hits": _OBS.get("engine.gamma.shared_hits"),
+        "shared_misses": _OBS.get("engine.gamma.shared_misses"),
         "assignments_entries": len(_ASSIGNMENTS_BY_RELATIONS),
         "groups_entries": len(_GROUPS_BY_RELATIONS),
         "multiset_entries": len(_MULTISET_BY_RELATIONS),
@@ -292,11 +292,11 @@ def symbolic_satisfying_assignments(
         key = (query, relation_signature(query, database))
         cached = _ASSIGNMENTS_BY_RELATIONS.get(key)
         if cached is None:
-            _SHARED_GAMMA_STATS["misses"] += 1
+            _OBS.inc("engine.gamma.shared_misses")
             cached = _compute_symbolic_assignments(query, database)
             _shared_cache_put(_ASSIGNMENTS_BY_RELATIONS, key, cached)
         else:
-            _SHARED_GAMMA_STATS["hits"] += 1
+            _OBS.inc("engine.gamma.shared_hits")
         return list(cached)
     return list(_symbolic_assignments_cached(query, database))
 
@@ -335,8 +335,7 @@ def clear_symbolic_caches() -> None:
     _ANSWER_COMPARISON_BY_RELATIONS.clear()
     _GROUP_INDEX_BY_RELATIONS.clear()
     _GROUP_INDEX_INTERN.clear()
-    _SHARED_GAMMA_STATS["hits"] = 0
-    _SHARED_GAMMA_STATS["misses"] = 0
+    _OBS.reset("engine.gamma.")
 
 
 # ----------------------------------------------------------------------

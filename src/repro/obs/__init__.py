@@ -1,0 +1,46 @@
+"""The instrumentation subsystem: metrics registry + decision tracing.
+
+Three pieces, all process-local and dependency-free:
+
+* :data:`REGISTRY` (:class:`MetricsRegistry`) — one dotted-name counter
+  space replacing the scattered stats dicts, with snapshot/diff/merge so
+  pool workers ship counter deltas back inside task outcomes and the
+  parent merges them deterministically under the ``worker.`` scope.
+* :func:`span` — env-gated (``REPRO_TRACE=<path>``) JSONL span tracing of
+  the decision pipeline, free when disabled.
+* :class:`CellExplanation` — the structured provenance record returned by
+  ``Workspace.explain(q1, q2)``.
+
+This package must import cleanly with nothing but the stdlib and must not
+import any other ``repro`` layer: every layer above (engine, core,
+parallel, session, rewriting, benchmarks) imports *it*.
+"""
+
+from .explain import CellExplanation, dispatch_class_of, normalization_of
+from .registry import REGISTRY, MetricsRegistry
+from .trace import (
+    TRACE_ENV,
+    Span,
+    disable,
+    enable,
+    enabled,
+    span,
+    validate_trace,
+    validate_trace_file,
+)
+
+__all__ = [
+    "CellExplanation",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACE_ENV",
+    "disable",
+    "dispatch_class_of",
+    "enable",
+    "enabled",
+    "normalization_of",
+    "span",
+    "validate_trace",
+    "validate_trace_file",
+]

@@ -1,0 +1,245 @@
+"""Span-based decision tracing, off by default.
+
+``with span("sweep.enumerate", pairs=12):`` wraps a stage of the decision
+pipeline.  When tracing is disabled — the default — ``span()`` returns a
+shared null context manager without allocating anything, so instrumented
+call sites cost one function call plus a ``with`` enter/exit.  That cost is
+what the <3% overhead floor in ``bench_compiled_engine.py`` measures.
+
+Tracing is enabled by pointing ``REPRO_TRACE=<path>`` at a file (read at
+import, and again by spawned workers importing fresh), or programmatically
+via :func:`enable` / :func:`disable` for tests.  Each span emits two JSONL
+events to the sink::
+
+    {"event": "begin", "span": "sweep.enumerate", "id": 3, "pid": 1234,
+     "t": 8.113071, "pairs": 12}
+    {"event": "end",   "span": "sweep.enumerate", "id": 3, "pid": 1234,
+     "t": 8.241554, "dur_s": 0.128483, "subsets": 96}
+
+``t`` is ``time.monotonic()`` — timestamps are monotonic per process and
+*not* comparable across processes.  ``(pid, id)`` identifies a span:
+forked pool workers inherit the parent's open sink (append mode, one
+``write()`` per event, flushed) and stamp their own pid, so a single trace
+file interleaves parent and worker events without clobbering.  Attributes
+passed to ``span()`` ride on the begin event; attributes added with
+``Span.note()`` ride on the end event — use it for results only known when
+the stage finishes (a verdict, a subset count).
+
+:func:`validate_trace` is the schema check used by the tests and the CI
+trace leg: well-formed JSON per line, only known event types, balanced
+begin/end per ``(pid, id)`` with matching span names, and per-pid
+monotonically non-decreasing timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import monotonic
+from typing import IO, Iterable, Optional
+
+#: Environment variable naming the trace sink.  Set it to a writable file
+#: path to record one JSONL event per span begin/end.
+TRACE_ENV = "REPRO_TRACE"
+
+_sink: Optional[IO[str]] = None
+_next_id = 0
+
+
+def enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _sink is not None
+
+
+def enable(path: str) -> None:
+    """Start recording spans to ``path`` (append mode, so a forked worker
+    re-enabling onto the same file is safe)."""
+    global _sink
+    disable()
+    _sink = open(path, "a", encoding="utf-8")
+
+
+def disable() -> None:
+    """Stop recording and close the sink."""
+    global _sink
+    if _sink is not None:
+        try:
+            _sink.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+        _sink = None
+
+
+class Span:
+    """A live span: emits ``begin`` on enter and ``end`` (with ``dur_s`` and
+    any :meth:`note` attributes) on exit."""
+
+    __slots__ = ("name", "ident", "start", "_begin_attrs", "_end_attrs")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self._begin_attrs = attrs
+        self._end_attrs: Optional[dict] = None
+
+    def note(self, **attrs) -> None:
+        """Attach result attributes to the forthcoming ``end`` event."""
+        if self._end_attrs is None:
+            self._end_attrs = attrs
+        else:
+            self._end_attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        global _next_id
+        _next_id += 1
+        self.ident = _next_id
+        self.start = monotonic()
+        _emit("begin", self.name, self.ident, self.start, self._begin_attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        now = monotonic()
+        end_attrs = dict(self._end_attrs) if self._end_attrs else {}
+        end_attrs["dur_s"] = round(now - self.start, 9)
+        if exc_type is not None:
+            end_attrs["error"] = exc_type.__name__
+        _emit("end", self.name, self.ident, now, end_attrs)
+
+
+class _NullSpan:
+    """The disabled-tracing span: a shared, do-nothing context manager."""
+
+    __slots__ = ()
+
+    def note(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """A context manager tracing one pipeline stage.
+
+    Returns the shared null span when tracing is disabled — the call sites
+    on warm paths rely on this being allocation-free.
+    """
+    if _sink is None:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def _emit(event: str, name: str, ident: int, t: float, attrs: dict) -> None:
+    sink = _sink
+    if sink is None:  # disabled mid-span; drop the event
+        return
+    record = {"event": event, "span": name, "id": ident, "pid": os.getpid(),
+              "t": round(t, 9)}
+    record.update(attrs)
+    try:
+        sink.write(json.dumps(record, default=str) + "\n")
+        sink.flush()
+    except (OSError, ValueError):  # pragma: no cover - sink died; disable
+        disable()
+
+
+# ----------------------------------------------------------------------
+# Trace validation (the schema check)
+# ----------------------------------------------------------------------
+
+def validate_trace(lines: Iterable[str]) -> list[str]:
+    """Validate JSONL trace content; returns a list of error strings.
+
+    Checks: every line parses as a JSON object; ``event`` is ``begin`` or
+    ``end``; required keys (``span``, ``id``, ``pid``, ``t``) are present
+    and well-typed; ``end`` events carry ``dur_s``; per ``(pid, id)`` the
+    begin/end pair is balanced with matching span names; per pid the
+    timestamps are monotonically non-decreasing.
+    """
+    errors: list[str] = []
+    open_spans: dict[tuple[int, int], str] = {}
+    last_t: dict[int, float] = {}
+    count = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {lineno}: event is not a JSON object")
+            continue
+        event = record.get("event")
+        if event not in ("begin", "end"):
+            errors.append(f"line {lineno}: unknown event {event!r}")
+            continue
+        name = record.get("span")
+        ident = record.get("id")
+        pid = record.get("pid")
+        t = record.get("t")
+        if not isinstance(name, str):
+            errors.append(f"line {lineno}: missing/invalid 'span'")
+            continue
+        if not isinstance(ident, int) or not isinstance(pid, int):
+            errors.append(f"line {lineno}: missing/invalid 'id'/'pid'")
+            continue
+        if not isinstance(t, (int, float)):
+            errors.append(f"line {lineno}: missing/invalid 't'")
+            continue
+        if pid in last_t and t < last_t[pid]:
+            errors.append(
+                f"line {lineno}: timestamp {t} goes backwards for pid {pid}"
+            )
+        last_t[pid] = float(t)
+        key = (pid, ident)
+        if event == "begin":
+            if key in open_spans:
+                errors.append(f"line {lineno}: duplicate begin for {key}")
+            open_spans[key] = name
+        else:
+            if "dur_s" not in record:
+                errors.append(f"line {lineno}: end event missing 'dur_s'")
+            opened = open_spans.pop(key, None)
+            if opened is None:
+                errors.append(f"line {lineno}: end without begin for {key}")
+            elif opened != name:
+                errors.append(
+                    f"line {lineno}: end span {name!r} does not match "
+                    f"begin span {opened!r} for {key}"
+                )
+    for key, name in open_spans.items():
+        errors.append(f"unclosed span {name!r} for (pid, id)={key}")
+    if count == 0:
+        errors.append("trace is empty (no events)")
+    return errors
+
+
+def validate_trace_file(path: str) -> list[str]:
+    """Validate the trace file at ``path``; see :func:`validate_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_trace(handle)
+
+
+# Honour REPRO_TRACE at import, so any entry point (pytest, benches, user
+# scripts) picks up tracing without code changes.  Spawned workers re-import
+# and re-open the same file in append mode; forked workers inherit the
+# parent's handle directly.
+_env_path = os.environ.get(TRACE_ENV)
+if _env_path:
+    try:
+        enable(_env_path)
+    except OSError:  # unwritable path: stay disabled rather than crash
+        _sink = None
+    else:
+        import atexit
+
+        atexit.register(disable)

@@ -1,0 +1,31 @@
+"""CLI for the trace schema check.
+
+``python -m repro.obs.validate trace.jsonl`` exits 0 when the trace is
+well-formed (see :func:`repro.obs.trace.validate_trace`) and 1 with one
+error per line on stderr otherwise.  CI points this at the trace produced
+by the ``REPRO_TRACE`` tier-1 leg.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .trace import validate_trace_file
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate <trace.jsonl>",
+              file=sys.stderr)
+        return 2
+    errors = validate_trace_file(argv[0])
+    if errors:
+        for error in errors:
+            print(f"trace invalid: {error}", file=sys.stderr)
+        return 1
+    print(f"trace ok: {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

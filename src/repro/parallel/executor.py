@@ -27,6 +27,9 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, Optional, Protocol, Sequence
 
+from ..obs import REGISTRY as _OBS
+from ..obs import span as _span
+
 #: Environment variable read by :func:`default_workers`; CI legs set it to
 #: exercise the parallel paths across the whole test suite.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -137,13 +140,15 @@ def _fork_pool(processes: int):
     # Forked workers inherit the parent heap copy-on-write; collecting
     # first trims garbage pages the children would otherwise fault in.
     gc.collect()
+    _OBS.inc("parallel.pool.forks")
     context = _pool_context()
     event = context.Event()
-    pool = context.Pool(
-        processes=max(1, processes),
-        initializer=_initialize_worker,
-        initargs=(event,),
-    )
+    with _span("parallel.pool.fork", processes=max(1, processes)):
+        pool = context.Pool(
+            processes=max(1, processes),
+            initializer=_initialize_worker,
+            initargs=(event,),
+        )
     return pool, event
 
 

@@ -44,7 +44,9 @@ from ..datalog.queries import Query
 from ..datalog.terms import Constant
 from ..domains import Domain
 from ..engine.modes import DEFAULT_ENGINE, active_engine, engine_scope
-from .executor import Executor, cancellation_requested, resolve_executor
+from ..obs import REGISTRY as _OBS
+from ..obs import span as _span
+from .executor import Executor, cancellation_requested, in_worker, resolve_executor
 
 # ----------------------------------------------------------------------
 # Bounded-equivalence shards
@@ -94,6 +96,40 @@ class BoundedCheckOutcome:
     stats: CheckStats
     found: Optional[tuple[tuple[int, int], Counterexample]] = None
     cancelled: bool = False
+    #: The worker-side metrics-registry delta for this task (``None`` when the
+    #: task ran in the parent process); see :func:`absorb_worker_metrics`.
+    metrics: Optional[dict] = None
+
+
+def capture_worker_metrics() -> Optional[dict]:
+    """A pre-task registry snapshot — but only inside a pool worker.
+
+    In the parent (serial executors, warm prefixes) the task's counters land
+    in the parent registry directly, so capturing a delta there would double
+    count; ``None`` marks that case.
+    """
+    return _OBS.snapshot() if in_worker() else None
+
+
+def attach_worker_metrics(outcome, before: Optional[dict]):
+    """Attach the registry delta since ``before`` to a task outcome."""
+    if before is not None:
+        outcome.metrics = _OBS.diff(before) or None
+    return outcome
+
+
+def absorb_worker_metrics(outcomes: Iterable) -> None:
+    """Fold worker-shipped counter deltas into the parent registry under the
+    ``worker.`` scope.
+
+    Deterministic by construction: deltas are added counter-wise and integer
+    addition commutes, so the merged totals are independent of worker
+    scheduling and of which worker ran which task.
+    """
+    for outcome in outcomes:
+        delta = getattr(outcome, "metrics", None)
+        if delta:
+            _OBS.merge(delta, prefix="worker.")
 
 
 #: Per-process memo of run setups (bounded pairs and catalog sweeps share
@@ -129,18 +165,24 @@ def _setup_for(task: BoundedCheckTask) -> BoundedRunSetup:
 def run_bounded_check_task(task: BoundedCheckTask) -> BoundedCheckOutcome:
     """Execute one shard; stops early on the first counterexample or when the
     pool's cancellation event fires."""
+    before = capture_worker_metrics()
     with engine_scope(task.engine):
-        setup = _setup_for(task)
-        stats = CheckStats()
-        base = setup.base
-        for position, indices in task.chunk:
-            if cancellation_requested():
-                return BoundedCheckOutcome(task.index, stats, cancelled=True)
-            stats.subsets_examined += 1
-            hit = check_subset(setup, frozenset(base[i] for i in indices), stats, task.seed)
-            if hit is not None:
-                return BoundedCheckOutcome(task.index, stats, ((position, hit[0]), hit[1]))
-        return BoundedCheckOutcome(task.index, stats)
+        outcome = _bounded_check_outcome(task)
+    return attach_worker_metrics(outcome, before)
+
+
+def _bounded_check_outcome(task: BoundedCheckTask) -> BoundedCheckOutcome:
+    setup = _setup_for(task)
+    stats = CheckStats()
+    base = setup.base
+    for position, indices in task.chunk:
+        if cancellation_requested():
+            return BoundedCheckOutcome(task.index, stats, cancelled=True)
+        stats.subsets_examined += 1
+        hit = check_subset(setup, frozenset(base[i] for i in indices), stats, task.seed)
+        if hit is not None:
+            return BoundedCheckOutcome(task.index, stats, ((position, hit[0]), hit[1]))
+    return BoundedCheckOutcome(task.index, stats)
 
 
 def bounded_check_tasks(
@@ -189,6 +231,7 @@ def merge_bounded_outcomes(
     summed and the counterexample at the smallest global position wins."""
     best: Optional[tuple[tuple[int, int], Counterexample]] = None
     cancelled = 0
+    absorb_worker_metrics(outcomes)
     for outcome in outcomes:
         outcome.stats.merge_into(report)
         if outcome.cancelled:
@@ -228,9 +271,10 @@ def parallel_bounded_search(
     tasks = bounded_check_tasks(
         first, second, bound, domain, semantics, extra_constants, subsets, shard_count, seed
     )
-    outcomes = executor.run(
-        run_bounded_check_task, tasks, stop=lambda outcome: outcome.found is not None
-    )
+    with _span("bounded.enumerate.parallel", shards=len(tasks)):
+        outcomes = executor.run(
+            run_bounded_check_task, tasks, stop=lambda outcome: outcome.found is not None
+        )
     report.workers_used = getattr(executor, "workers", 1)
     report.notes.append(
         f"parallel search: {len(tasks)} shard(s) over {report.workers_used} worker(s)"
@@ -287,6 +331,9 @@ class SweepCheckOutcome:
     stats: CheckStats
     found: tuple[tuple[tuple[str, str], tuple[int, int], Counterexample], ...] = ()
     cancelled: bool = False
+    #: Worker-side registry delta (``None`` when run in the parent); see
+    #: :func:`absorb_worker_metrics`.
+    metrics: Optional[dict] = None
 
 
 def _sweep_setup_for(task: "SweepCheckTask | SweepRangeCheckTask") -> SweepRunSetup:
@@ -358,8 +405,10 @@ def _run_sweep_rows(
 
 def run_sweep_check_task(task: SweepCheckTask) -> SweepCheckOutcome:
     """Execute one row-shipping sweep shard."""
+    before = capture_worker_metrics()
     with engine_scope(task.engine):
-        return _run_sweep_rows(task, task.chunk)
+        outcome = _run_sweep_rows(task, task.chunk)
+    return attach_worker_metrics(outcome, before)
 
 
 # ----------------------------------------------------------------------
@@ -407,8 +456,10 @@ class SweepRangeCheckTask:
 def run_sweep_range_task(task: SweepRangeCheckTask) -> SweepCheckOutcome:
     """Execute one range shard: re-enumerate the canonical stream locally and
     check the positions the ranges select."""
+    before = capture_worker_metrics()
     with engine_scope(task.engine):
-        return _run_sweep_rows(task, _sweep_range_rows(task))
+        outcome = _run_sweep_rows(task, _sweep_range_rows(task))
+    return attach_worker_metrics(outcome, before)
 
 
 def block_cyclic_ranges(
@@ -565,9 +616,11 @@ def parallel_sweep_search(
             remaining.discard(pair)
         return not remaining
 
-    outcomes = executor.run(run, tasks, stop=all_settled)
+    with _span("sweep.enumerate.parallel", shards=len(tasks), ship=ship):
+        outcomes = executor.run(run, tasks, stop=all_settled)
     best: dict[tuple[str, str], tuple[tuple[int, int], Counterexample]] = {}
     cancelled = 0
+    absorb_worker_metrics(outcomes)
     for outcome in outcomes:
         stats.merge(outcome.stats)
         if outcome.cancelled:
@@ -620,6 +673,9 @@ class PairOutcome:
     name_a: str
     name_b: str
     result: EquivalenceResult
+    #: Worker-side registry delta (``None`` when run in the parent); see
+    #: :func:`absorb_worker_metrics`.
+    metrics: Optional[dict] = None
 
 
 def derive_pair_seed(seed: Optional[int], name_a: str, name_b: str) -> Optional[int]:
@@ -634,6 +690,7 @@ def run_pair_task(task: PairCheckTask) -> PairOutcome:
     """Decide one matrix cell.  Pairs mixing an aggregate with a non-aggregate
     query are recorded as ``incomparable shapes`` rather than raising, so one
     odd catalog entry does not abort the sweep."""
+    before = capture_worker_metrics()
     if task.first.is_aggregate != task.second.is_aggregate:
         result = EquivalenceResult(
             Verdict.NOT_EQUIVALENT,
@@ -654,7 +711,9 @@ def run_pair_task(task: PairCheckTask) -> PairOutcome:
                 seed=derive_pair_seed(task.seed, task.name_a, task.name_b),
                 context=task.context,
             )
-    return PairOutcome(task.index, task.name_a, task.name_b, result)
+    return attach_worker_metrics(
+        PairOutcome(task.index, task.name_a, task.name_b, result), before
+    )
 
 
 def pair_check_tasks(

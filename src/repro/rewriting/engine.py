@@ -33,6 +33,7 @@ from ..datalog.queries import Query
 from ..datalog.terms import Constant
 from ..domains import Domain
 from ..errors import RewritingError, SearchSpaceBudgetError
+from ..obs import span as _span
 from ..parallel.executor import Executor
 from ..parallel.tasks import PairOutcome, run_pair_task
 from .candidates import CandidateRewriting, RejectedCandidate, generate_candidates
@@ -284,21 +285,31 @@ class RewritingEngine:
         wanted = [
             tuple(sorted((TARGET_NAME, candidate.name))) for candidate in candidates
         ]
-        results = decide_pairs(
-            catalog,
-            wanted,
-            domain=self.domain,
-            counterexample_trials=self.counterexample_trials,
-            max_subsets=self.max_subsets,
-            unknown_bound=self.unknown_bound,
-            workers=workers,
-            executor=executor,
-            seed=seed,
-            normalize=self.normalize,
-            shared_base=self.shared_base,
-            sweep=self.sweep,
-            pair_runner=_run_pair_task_guarded,
-        )
+        with _span(
+            "rewrite.verify", query=query.name, candidates=len(candidates)
+        ) as verify_span:
+            results = decide_pairs(
+                catalog,
+                wanted,
+                domain=self.domain,
+                counterexample_trials=self.counterexample_trials,
+                max_subsets=self.max_subsets,
+                unknown_bound=self.unknown_bound,
+                workers=workers,
+                executor=executor,
+                seed=seed,
+                normalize=self.normalize,
+                shared_base=self.shared_base,
+                sweep=self.sweep,
+                pair_runner=_run_pair_task_guarded,
+            )
+            verify_span.note(
+                safe=sum(
+                    1
+                    for result in results.values()
+                    if result.verdict is Verdict.EQUIVALENT
+                )
+            )
         verified: list[VerifiedRewriting] = []
         for candidate in candidates:
             pair = tuple(sorted((TARGET_NAME, candidate.name)))

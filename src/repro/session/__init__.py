@@ -15,6 +15,7 @@ The module-level functions remain as thin shims over an ephemeral workspace,
 so existing callers keep working unchanged.
 """
 
+from ..obs import CellExplanation
 from .workspace import Workspace, WorkspaceStats
 
-__all__ = ["Workspace", "WorkspaceStats"]
+__all__ = ["CellExplanation", "Workspace", "WorkspaceStats"]

@@ -48,7 +48,7 @@ returned witness remains a genuine distinguishing database.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
 from ..core.bounded import SharedBaseContext
@@ -57,8 +57,12 @@ from ..datalog.database import Database
 from ..datalog.parser import parse_query
 from ..datalog.queries import Query
 from ..domains import Domain
-from ..engine.modes import ENGINE_MODES, engine_scope
+from ..engine.modes import ENGINE_MODES, active_engine, engine_scope
+from ..engine.planner import plan_cache_stats
 from ..errors import ReproError, RewritingError
+from ..obs import REGISTRY as _OBS
+from ..obs import CellExplanation, dispatch_class_of, normalization_of
+from ..obs import span as _span
 from ..parallel.executor import (
     Executor,
     PersistentProcessExecutor,
@@ -90,7 +94,16 @@ QueryLike = Union[Query, str]
 
 @dataclass(frozen=True)
 class WorkspaceStats:
-    """Counters describing how much work a workspace has reused."""
+    """Counters describing how much work a workspace has reused.
+
+    Beyond the session-layer reuse counters, ``counters`` carries the
+    process-wide metrics registry (:data:`repro.obs.REGISTRY`) grouped by
+    scope — ``engine`` (kernel/store/Γ/dispatch), ``sweep`` (enumeration
+    effort), ``parallel`` (pool lifecycle) and ``worker`` (deltas shipped
+    back from pool workers and merged by the parent) — and ``plan_cache``
+    the planner's LRU statistics.  :meth:`report` renders the whole thing
+    as an indented hierarchy.
+    """
 
     queries: int
     views: int
@@ -99,6 +112,26 @@ class WorkspaceStats:
     rewrite_cache_hits: int
     pool_forks: int
     workers: int
+    counters: Mapping[str, Mapping[str, int]] = field(default_factory=dict)
+    plan_cache: Mapping[str, int] = field(default_factory=dict)
+
+    def report(self) -> str:
+        """The hierarchical text rendering of every layer's counters."""
+        lines = ["workspace:"]
+        for label in (
+            "queries", "views", "decided_cells", "verdict_cache_hits",
+            "rewrite_cache_hits", "pool_forks", "workers",
+        ):
+            lines.append(f"  {label}: {getattr(self, label)}")
+        if self.plan_cache:
+            lines.append("plan_cache:")
+            for key, value in sorted(self.plan_cache.items()):
+                lines.append(f"  {key}: {value}")
+        for scope, values in self.counters.items():
+            lines.append(f"{scope}:")
+            for key, value in values.items():
+                lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
 
 
 class Workspace:
@@ -175,6 +208,11 @@ class Workspace:
         self._decided_cells = 0
         self._verdict_cache_hits = 0
         self._rewrite_cache_hits = 0
+        # Per-cell decision provenance feeding explain(): how each settled
+        # cell was decided (sweep group / pair task / verdict cache), under
+        # which engine, and in which equivalences() call.
+        self._provenance: dict[tuple[str, str], dict] = {}
+        self._equivalence_calls = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -236,7 +274,9 @@ class Workspace:
             raise ReproError(f"workspace has no query named {name!r}") from None
 
     def stats(self) -> WorkspaceStats:
-        """Reuse counters: decided vs cache-served cells, pool forks, ..."""
+        """Reuse counters: decided vs cache-served cells, pool forks, plus
+        the hierarchical registry report (engine / sweep / parallel scopes
+        and the ``worker.*`` deltas merged back from pool workers)."""
         return WorkspaceStats(
             queries=len(self._queries),
             views=len(self._views),
@@ -245,6 +285,8 @@ class Workspace:
             rewrite_cache_hits=self._rewrite_cache_hits,
             pool_forks=getattr(self._executor, "forks", 0) if self._executor else 0,
             workers=self._workers,
+            counters=_OBS.tree(),
+            plan_cache=plan_cache_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -289,6 +331,7 @@ class Workspace:
         removed = self._queries.pop(name)
         for pair in [pair for pair in self._results if name in pair]:
             del self._results[pair]
+            self._provenance.pop(pair, None)
         return removed
 
     def register_view(
@@ -377,6 +420,9 @@ class Workspace:
         shared context and session executor.
         """
         self._require_open()
+        self._equivalence_calls += 1
+        call = self._equivalence_calls
+        engine_used = self._engine_mode or active_engine()
         names = sorted(self._queries)
         pairs = [
             (name_a, name_b)
@@ -394,32 +440,101 @@ class Workspace:
                 # hand out a copy so per-cell consumers never alias.
                 self._results[pair] = replace(cached)
                 self._verdict_cache_hits += 1
+                _OBS.inc("session.verdict_cache.hits")
+                self._provenance[pair] = {
+                    "path": "cache",
+                    "engine": engine_used,
+                    "cache_served": True,
+                    "call": call,
+                }
             else:
                 undecided.append(pair)
         if undecided:
             from ..workloads.batch import decide_pairs
 
-            decided = decide_pairs(
-                self._queries,
-                undecided,
-                domain=self._domain,
-                counterexample_trials=self._counterexample_trials,
-                max_subsets=self._max_subsets,
-                unknown_bound=self._unknown_bound,
-                workers=self._workers,
-                executor=self._executor,
-                seed=self._seed,
-                normalize=self._normalize,
-                shared_base=self._shared_base,
-                sweep=self._sweep,
-                context=self._current_context(),
-                engine=self._engine_mode,
-            )
+            _OBS.inc("session.verdict_cache.misses", len(undecided))
+            decision_paths: dict[tuple[str, str], str] = {}
+            with _span("session.equivalences", cells=len(undecided), call=call):
+                decided = decide_pairs(
+                    self._queries,
+                    undecided,
+                    domain=self._domain,
+                    counterexample_trials=self._counterexample_trials,
+                    max_subsets=self._max_subsets,
+                    unknown_bound=self._unknown_bound,
+                    workers=self._workers,
+                    executor=self._executor,
+                    seed=self._seed,
+                    normalize=self._normalize,
+                    shared_base=self._shared_base,
+                    sweep=self._sweep,
+                    context=self._current_context(),
+                    engine=self._engine_mode,
+                    provenance=decision_paths,
+                )
             for pair, result in decided.items():
                 self._results[pair] = result
                 self._cache_verdict(pair, result)
                 self._decided_cells += 1
+                self._provenance[pair] = {
+                    "path": decision_paths.get(pair, "unknown"),
+                    "engine": engine_used,
+                    "cache_served": False,
+                    "call": call,
+                }
         return {pair: self._results[pair] for pair in sorted(pairs)}
+
+    def explain(self, first: str, second: str) -> CellExplanation:
+        """The full decision provenance of one settled cell.
+
+        ``first`` and ``second`` name catalog queries whose cell an earlier
+        :meth:`equivalences` call settled (order-insensitive).  The returned
+        :class:`~repro.obs.CellExplanation` combines the stored verdict
+        (method string, dispatch class, normalization annotation, search
+        counters, witness) with the session's provenance record for the cell
+        (sweep group vs pair task vs verdict cache, engine mode, deciding
+        call ordinal).  Unsettled cells raise — explanations never trigger
+        new decisions.  Works on a closed workspace — explaining is pure
+        introspection over already-settled state.
+        """
+        if first == second:
+            raise ReproError("explain() needs two distinct catalog queries")
+        for name in (first, second):
+            if name not in self._queries:
+                raise ReproError(f"workspace has no query named {name!r}")
+        pair = (first, second) if first < second else (second, first)
+        result = self._results.get(pair)
+        if result is None:
+            raise ReproError(
+                f"cell {pair!r} is not settled; call equivalences() first"
+            )
+        provenance = self._provenance.get(pair, {})
+        bound = None
+        search: dict[str, int] = {}
+        if result.report is not None:
+            bound = result.report.bound
+            search = {
+                "subsets_examined": result.report.subsets_examined,
+                "orderings_examined": result.report.orderings_examined,
+                "identities_checked": result.report.identities_checked,
+                "subsets_skipped_by_symmetry": result.report.subsets_skipped_by_symmetry,
+            }
+        return CellExplanation(
+            pair=pair,
+            verdict=result.verdict.value,
+            method=result.method,
+            dispatch_class=dispatch_class_of(result.method),
+            normalization=normalization_of(result.method),
+            engine=provenance.get("engine", "unknown"),
+            cache_served=bool(provenance.get("cache_served", False)),
+            decision_path=provenance.get("path", "unknown"),
+            decided_in_call=provenance.get("call"),
+            domain=result.domain.value,
+            bound=bound,
+            details=result.details or None,
+            witness=result.counterexample,
+            search=search,
+        )
 
     def _cache_verdict(self, pair: tuple[str, str], result: EquivalenceResult) -> None:
         if len(self._verdict_cache) >= _VERDICT_CACHE_LIMIT:

@@ -64,8 +64,9 @@ from ..domains import Domain
 from ..errors import ReproError
 from ..engine.evaluator import evaluate
 from ..engine.modes import engine_scope
+from ..obs import span as _span
 from ..parallel.executor import Executor, resolve_executor
-from ..parallel.tasks import pair_check_tasks, run_pair_task
+from ..parallel.tasks import absorb_worker_metrics, pair_check_tasks, run_pair_task
 
 
 def evaluate_many(
@@ -302,6 +303,15 @@ def _route_pair(
     )
 
 
+def sweep_group_label(group: SweepGroup) -> str:
+    """A human-readable identity for a sweep group, used by trace spans and
+    by ``Workspace.explain`` provenance: the dispatch kind, the member
+    queries sharing the enumeration, and the group bound."""
+    kind = group.key[0]
+    tag = kind if kind != "agg" else f"agg:{group.key[1]}"
+    return f"{tag}({'+'.join(sorted(group.queries))})τ={group.bound}"
+
+
 def _sweep_cell_result(
     group: SweepGroup,
     pair: tuple[str, str],
@@ -364,6 +374,7 @@ def decide_pairs(
     pair_runner=run_pair_task,
     context: Optional[SharedBaseContext] = None,
     engine: Optional[str] = None,
+    provenance: Optional[dict] = None,
 ) -> dict[tuple[str, str], EquivalenceResult]:
     """Decide a set of catalog cells: the shared engine behind
     :func:`equivalence_matrix` (all unordered pairs), the incremental
@@ -389,6 +400,11 @@ def decide_pairs(
     ``engine`` pins the evaluation engine for the whole batch (``None`` keeps
     the active mode); the task builders capture it, so worker processes decide
     under the same engine as the caller.
+
+    ``provenance``, when given a dict, receives one entry per decided cell
+    describing *how* it was decided — ``"sweep:<group label>"`` for cells a
+    shared single-sweep enumeration carried, ``"pair"`` for standalone pair
+    tasks.  The session layer feeds this into ``Workspace.explain``.
     """
     with engine_scope(engine):
         if context is None and shared_base:
@@ -396,29 +412,35 @@ def decide_pairs(
         results: dict[tuple[str, str], EquivalenceResult] = {}
         pair_subset = pairs
         if sweep:
-            plan = plan_catalog_sweep(
-                queries,
-                domain=domain,
-                max_subsets=max_subsets,
-                normalize=normalize,
-                context=context,
-                pairs=pairs,
-            )
-            for group in plan.groups:
-                reports = sweep_equivalence(
-                    group.queries,
-                    group.pairs,
-                    group.bound,
+            with _span("sweep.plan", cells=-1 if pairs is None else len(pairs)) as plan_span:
+                plan = plan_catalog_sweep(
+                    queries,
                     domain=domain,
-                    semantics=group.semantics,
                     max_subsets=max_subsets,
-                    workers=workers,
-                    executor=executor,
-                    seed=seed,
-                    extra_constants=group.extra_constants,
+                    normalize=normalize,
+                    context=context,
+                    pairs=pairs,
                 )
+                plan_span.note(groups=len(plan.groups), pair_path=len(plan.pair_path))
+            for group in plan.groups:
+                label = sweep_group_label(group)
+                with _span("sweep.group", group=label, pairs=len(group.pairs)):
+                    reports = sweep_equivalence(
+                        group.queries,
+                        group.pairs,
+                        group.bound,
+                        domain=domain,
+                        semantics=group.semantics,
+                        max_subsets=max_subsets,
+                        workers=workers,
+                        executor=executor,
+                        seed=seed,
+                        extra_constants=group.extra_constants,
+                    )
                 for pair, report in reports.items():
                     results[pair] = _sweep_cell_result(group, pair, report, domain, queries)
+                    if provenance is not None:
+                        provenance[pair] = f"sweep:{label}"
             pair_subset = plan.pair_path
         tasks = pair_check_tasks(
             queries,
@@ -432,8 +454,11 @@ def decide_pairs(
             pairs=pair_subset,
         )
         outcomes = resolve_executor(workers, executor).run(pair_runner, tasks)
+        absorb_worker_metrics(outcomes)
         for outcome in sorted(outcomes, key=lambda outcome: outcome.task_index):
             results[(outcome.name_a, outcome.name_b)] = outcome.result
+            if provenance is not None:
+                provenance[(outcome.name_a, outcome.name_b)] = "pair"
         return results
 
 
