@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the invariant checkers, exit-code gated."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,101 @@
+"""The ``python -m repro.analysis`` command line: the exit-code-gated lint.
+
+Runs every registered checker over the package source (or explicit paths)
+and prints one ``path:line: [rule] message`` per surviving finding.  Exit
+status 0 means the tree is clean — every invariant holds and every
+suppression carries a reason; any finding exits 1, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .checkers import ALL_CHECKERS
+from .framework import Checker, Finding, Program, run_checkers
+
+
+def default_root() -> Path:
+    """The ``repro`` package source tree this module was imported from."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _select_checkers(rules: Optional[Sequence[str]]) -> tuple[Checker, ...]:
+    if not rules:
+        return ALL_CHECKERS
+    by_name = {checker.name: checker for checker in ALL_CHECKERS}
+    unknown = sorted(set(rules) - set(by_name))
+    if unknown:
+        raise SystemExit(
+            f"unknown rule(s): {', '.join(unknown)}; known: {', '.join(sorted(by_name))}"
+        )
+    return tuple(by_name[name] for name in dict.fromkeys(rules))
+
+
+def analyze_paths(
+    paths: Sequence[Path], checkers: Sequence[Checker] = ALL_CHECKERS
+) -> list[Finding]:
+    """Analyze one or more package roots / single files and merge findings.
+
+    Each directory is treated as a package root (cache-registry keys are
+    relative to it); a single file is analyzed as a one-module program.
+    """
+    findings: list[Finding] = []
+    for path in paths:
+        if path.is_dir():
+            program = Program.from_root(path)
+        else:
+            program = Program.from_root(path.parent)
+            program.modules = [
+                module for module in program.modules if module.relpath == path.name
+            ]
+        findings.extend(run_checkers(program, checkers))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checks for the repro package.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="package roots or files to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON records")
+    parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list_rules:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.name}: {checker.description}")
+        return 0
+
+    checkers = _select_checkers(arguments.rules)
+    paths = arguments.paths or [default_root()]
+    findings = analyze_paths(paths, checkers)
+
+    if arguments.json:
+        for finding in findings:
+            print(json.dumps(finding.__dict__, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"repro.analysis: {len(findings)} finding(s) from "
+            f"{len(checkers)} rule(s)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0

@@ -1,0 +1,236 @@
+"""The static-analysis framework: sources, findings, suppressions, passes.
+
+The framework is deliberately small: a loaded :class:`SourceModule` per file
+(text, AST, per-line suppressions), a :class:`Program` bundling the modules
+of one analysis run, and a :class:`Checker` base class with two hooks —
+``check_module`` for per-file passes and ``check_program`` for whole-program
+passes that need to see every registration/definition site at once.
+
+Findings are structured (:class:`Finding`: rule, path, line, message) and
+suppressible inline::
+
+    _TABLE = {}  # repro: allow[cache-discipline] -- constant after import
+
+A suppression names the rule it silences and MUST carry a reason after
+``--``; a reason-less suppression is itself reported (rule
+``suppression-hygiene``) and silences nothing.  A suppression covers the
+line it sits on and, when it is a standalone comment line, the line below
+it.  Suppressions for rules unknown to the run are reported too — a typo in
+the rule name must not silently disable the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+#: The rule every suppression-syntax problem is reported under; it cannot be
+#: suppressed (a broken suppression must never hide itself).
+SUPPRESSION_RULE = "suppression-hygiene"
+
+_SUPPRESSION_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S)?)?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured diagnostic: ``path:line: [rule] message``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro: allow[rule] -- reason`` comment."""
+
+    rule: str
+    line: int
+    reason: str
+    #: Whether the comment stands alone on its line (then it also covers the
+    #: line below, the common style for multi-line constructs).
+    standalone: bool
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file."""
+
+    #: Path relative to the analyzed package root, posix-style — the identity
+    #: used by cache-registry keys (``"engine/compile.py"``).
+    relpath: str
+    #: The path rendered in findings (relative to the invoker's cwd when the
+    #: file exists on disk; equal to ``relpath`` for in-memory fixtures).
+    display_path: str
+    text: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...] = ()
+
+    @classmethod
+    def from_source(
+        cls, text: str, relpath: str, display_path: Optional[str] = None
+    ) -> "SourceModule":
+        return cls(
+            relpath=relpath,
+            display_path=display_path or relpath,
+            text=text,
+            tree=ast.parse(text, filename=display_path or relpath),
+            suppressions=tuple(_scan_suppressions(text)),
+        )
+
+    def covered_rules(self, line: int) -> set[str]:
+        """The rules suppressed (with a reason) at ``line``."""
+        covered: set[str] = set()
+        for suppression in self.suppressions:
+            if not suppression.reason:
+                continue
+            if suppression.line == line or (
+                suppression.standalone and suppression.line == line - 1
+            ):
+                covered.add(suppression.rule)
+        return covered
+
+
+def _scan_suppressions(text: str) -> Iterator[Suppression]:
+    # Tokenize rather than regex over raw lines: only genuine COMMENT tokens
+    # count, so docstrings *describing* the suppression syntax never register
+    # as suppressions.
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_PATTERN.search(token.string)
+        if match is None:
+            continue
+        row, column = token.start
+        yield Suppression(
+            rule=match.group("rule").strip(),
+            line=row,
+            reason=(match.group("reason") or "").strip(),
+            standalone=token.line[:column].strip() == "",
+        )
+
+
+@dataclass
+class Program:
+    """The modules of one analysis run, keyed by relpath."""
+
+    modules: list[SourceModule] = field(default_factory=list)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Program":
+        """An in-memory program — the fixture entry point used by tests."""
+        return cls([SourceModule.from_source(text, relpath) for relpath, text in sources.items()])
+
+    @classmethod
+    def from_root(cls, root: Path, display_base: Optional[Path] = None) -> "Program":
+        """Every ``*.py`` under ``root`` (sorted, so findings are stable)."""
+        modules: list[SourceModule] = []
+        for path in sorted(root.rglob("*.py")):
+            relpath = path.relative_to(root).as_posix()
+            display = _display_path(path, display_base)
+            modules.append(SourceModule.from_source(path.read_text(), relpath, display))
+        return cls(modules)
+
+    def module(self, relpath: str) -> Optional[SourceModule]:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+
+def _display_path(path: Path, base: Optional[Path]) -> str:
+    resolved = path.resolve()
+    base = (base or Path.cwd()).resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return str(resolved)
+
+
+class Checker:
+    """Base class for one rule.
+
+    Subclasses set ``name``/``description`` and override ``check_module``
+    (called once per file) and/or ``check_program`` (called once per run,
+    after every module is loaded).
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return ()
+
+    def check_program(self, program: Program) -> Iterable[Finding]:
+        return ()
+
+
+def run_checkers(
+    program: Program, checkers: Sequence[Checker]
+) -> list[Finding]:
+    """Run every checker over the program and apply suppressions.
+
+    Returns the surviving findings sorted by ``(path, line, rule)``.  Beyond
+    the checkers' own findings, the run reports suppression hygiene: a
+    suppression without a reason, and a suppression naming a rule no active
+    checker owns.
+    """
+    known_rules = {checker.name for checker in checkers}
+    raw: list[Finding] = []
+    for checker in checkers:
+        for module in program.modules:
+            raw.extend(checker.check_module(module))
+        raw.extend(checker.check_program(program))
+
+    findings: list[Finding] = []
+    for finding in raw:
+        module = _module_for_display(program, finding)
+        if module is not None and finding.rule in module.covered_rules(finding.line):
+            continue
+        findings.append(finding)
+
+    for module in program.modules:
+        for suppression in module.suppressions:
+            if not suppression.reason:
+                findings.append(
+                    Finding(
+                        SUPPRESSION_RULE,
+                        module.display_path,
+                        suppression.line,
+                        f"suppression allow[{suppression.rule}] has no reason; "
+                        "write '# repro: allow[rule] -- why it is safe'",
+                    )
+                )
+            elif suppression.rule not in known_rules:
+                findings.append(
+                    Finding(
+                        SUPPRESSION_RULE,
+                        module.display_path,
+                        suppression.line,
+                        f"suppression names unknown rule {suppression.rule!r}; "
+                        f"known rules: {', '.join(sorted(known_rules))}",
+                    )
+                )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def _module_for_display(program: Program, finding: Finding) -> Optional[SourceModule]:
+    for module in program.modules:
+        if module.display_path == finding.path:
+            return module
+    return None

@@ -1,0 +1,244 @@
+"""The kernel-source verifier: generated kernels stay in a closed language.
+
+:mod:`repro.engine.compile` code-generates one Python function per plan and
+``exec``-s it.  The generator only ever emits a tiny, closed fragment —
+nested ``for`` loops over store rows and index probes, integer-id guards,
+tuple projection — but nothing *checked* that, and an ``exec`` whose input
+language silently widens is how a codegen bug (or a poisoned plan object)
+turns into arbitrary code execution inside every worker process.
+
+:func:`verify_kernel_source` parses a kernel source and validates it against
+a whitelist grammar before the ``exec``:
+
+* **statements** — exactly one ``def _kernel(store)``; inside it only
+  assignments, ``for``/``if``, expression calls, ``return``, ``continue``;
+* **expressions** — names, constants (non-negative ints and predicate-name
+  strings), tuples, subscripts of row tuples, comparisons, ``not``;
+* **names** — the generated vocabulary only (``store``, ``out``,
+  ``_append``, and the numbered ``_c0``/``_v3``/``_row2``/... locals);
+  builtins are unreachable because no other name resolves;
+* **attributes** — the store API (:data:`STORE_API`), ``out.append``, and
+  index-probe ``.get``; dunder access is impossible since every attribute
+  must be whitelisted by exact name;
+* **imports** — none (no ``import`` statement form is whitelisted, and
+  ``__import__`` is not an allowed name).
+
+The check is wired into the kernel cache's *miss* path
+(``REPRO_VERIFY_KERNELS=1``), so a verified kernel is verified exactly once
+per process — the compiled engine's warm path never sees the verifier and
+stays inside the PR 7 instrumentation-overhead ceiling.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Mapping, Optional
+
+from ..errors import KernelVerificationError
+
+#: The :class:`~repro.engine.columnar.ColumnarStore` methods a kernel may
+#: call — the whole surface the generated code touches at run time.
+STORE_API = frozenset({"bounds", "decode_id", "index", "rows", "row_set", "const_holds"})
+
+#: Names the generator introduces: the store parameter, the output
+#: accumulator and its bound append, plus the numbered per-construct locals.
+_FIXED_NAMES = frozenset({"store", "out", "_append"})
+_NUMBERED_NAME = re.compile(r"\A_(?:c|d|lo|hi|eq|op|v|row|rows|idx|neg)\d+\Z")
+
+#: Namespace entries the generator injects for the ``exec``: interned
+#: constants (``_c0``) and comparison operators (``_op0``).
+_NAMESPACE_NAME = re.compile(r"\A_(?:c|op)\d+\Z")
+
+_ALLOWED_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq, ast.In)
+
+
+def _fail(message: str, node: Optional[ast.AST] = None) -> KernelVerificationError:
+    line = getattr(node, "lineno", None)
+    location = f" (kernel line {line})" if line is not None else ""
+    return KernelVerificationError(f"kernel verification failed: {message}{location}")
+
+
+def _allowed_name(name: str) -> bool:
+    return name in _FIXED_NAMES or _NUMBERED_NAME.match(name) is not None
+
+
+def verify_kernel_source(
+    source: str, namespace: Optional[Mapping[str, object]] = None
+) -> ast.Module:
+    """Validate one generated kernel source against the closed kernel language.
+
+    Raises :class:`~repro.errors.KernelVerificationError` on the first
+    violation; returns the parsed module on success (so callers can reuse the
+    AST if they wish).  ``namespace`` — the mapping the kernel will be
+    ``exec``-ed in — is validated too: only injected ``_cN``/``_opN`` entries
+    are admitted.
+    """
+    if namespace:
+        for key in namespace:
+            if _NAMESPACE_NAME.match(key) is None:
+                raise _fail(f"namespace injects unexpected name {key!r}")
+    try:
+        tree = ast.parse(source, filename="<plan-kernel>")
+    except SyntaxError as error:
+        raise KernelVerificationError(
+            f"kernel verification failed: source does not parse: {error}"
+        ) from error
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        raise _fail("kernel module must contain exactly one function definition")
+    function = tree.body[0]
+    _verify_signature(function)
+    for statement in function.body:
+        _verify_statement(statement)
+    return tree
+
+
+def _verify_signature(function: ast.FunctionDef) -> None:
+    if function.name != "_kernel":
+        raise _fail(f"unexpected function name {function.name!r}", function)
+    if function.decorator_list or function.returns or getattr(function, "type_params", ()):
+        raise _fail("kernel function must have no decorators or annotations", function)
+    args = function.args
+    if (
+        [a.arg for a in args.args] != ["store"]
+        or args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or args.defaults
+        or args.kw_defaults
+        or args.args[0].annotation is not None
+    ):
+        raise _fail("kernel signature must be exactly (store)", function)
+
+
+def _verify_statement(statement: ast.stmt) -> None:
+    if isinstance(statement, ast.Assign):
+        if len(statement.targets) != 1:
+            raise _fail("chained assignment is outside the kernel language", statement)
+        _verify_assign_target(statement.targets[0])
+        _verify_expression(statement.value, allow_empty_list=True)
+    elif isinstance(statement, ast.Expr):
+        if not isinstance(statement.value, ast.Call):
+            raise _fail("bare expressions other than calls are not kernel forms", statement)
+        _verify_expression(statement.value)
+    elif isinstance(statement, ast.For):
+        if statement.orelse:
+            raise _fail("for/else is outside the kernel language", statement)
+        _verify_assign_target(statement.target)
+        _verify_expression(statement.iter)
+        for inner in statement.body:
+            _verify_statement(inner)
+    elif isinstance(statement, ast.If):
+        if statement.orelse:
+            raise _fail("if/else is outside the kernel language", statement)
+        _verify_expression(statement.test)
+        for inner in statement.body:
+            _verify_statement(inner)
+    elif isinstance(statement, ast.Return):
+        if not (isinstance(statement.value, ast.Name) and statement.value.id == "out"):
+            raise _fail("kernels may only return out", statement)
+    elif isinstance(statement, ast.Continue):
+        pass
+    else:
+        raise _fail(
+            f"statement form {type(statement).__name__} is outside the kernel language",
+            statement,
+        )
+
+
+def _verify_assign_target(target: ast.expr) -> None:
+    if isinstance(target, ast.Name):
+        if not _allowed_name(target.id):
+            raise _fail(f"assignment to unexpected name {target.id!r}", target)
+        return
+    if isinstance(target, ast.Tuple) and all(isinstance(e, ast.Name) for e in target.elts):
+        for element in target.elts:
+            assert isinstance(element, ast.Name)
+            if not _allowed_name(element.id):
+                raise _fail(f"assignment to unexpected name {element.id!r}", element)
+        return
+    raise _fail("assignment target must be a name or a tuple of names", target)
+
+
+def _verify_expression(expr: ast.expr, allow_empty_list: bool = False) -> None:
+    if isinstance(expr, ast.Name):
+        if not _allowed_name(expr.id):
+            raise _fail(f"name {expr.id!r} is outside the kernel vocabulary", expr)
+    elif isinstance(expr, ast.Constant):
+        value = expr.value
+        if isinstance(value, bool) or not isinstance(value, (int, str)):
+            raise _fail(f"constant {value!r} is outside the kernel language", expr)
+        if isinstance(value, int) and value < 0:
+            raise _fail(f"negative constant {value!r} is outside the kernel language", expr)
+    elif isinstance(expr, ast.Tuple):
+        for element in expr.elts:
+            _verify_expression(element)
+    elif isinstance(expr, ast.List):
+        if expr.elts or not allow_empty_list:
+            raise _fail("list literals other than the out accumulator are not kernel forms", expr)
+    elif isinstance(expr, ast.Attribute):
+        _verify_attribute(expr)
+    elif isinstance(expr, ast.Call):
+        _verify_call(expr)
+    elif isinstance(expr, ast.Subscript):
+        if not (isinstance(expr.value, ast.Name) and re.match(r"\A_row\d+\Z", expr.value.id)):
+            raise _fail("subscripts may only index row tuples", expr)
+        if not (
+            isinstance(expr.slice, ast.Constant)
+            and isinstance(expr.slice.value, int)
+            and not isinstance(expr.slice.value, bool)
+        ):
+            raise _fail("row subscripts must use integer literals", expr)
+    elif isinstance(expr, ast.Compare):
+        if len(expr.ops) != 1 or len(expr.comparators) != 1:
+            raise _fail("chained comparisons are outside the kernel language", expr)
+        if not isinstance(expr.ops[0], _ALLOWED_COMPARE_OPS):
+            raise _fail(
+                f"comparison {type(expr.ops[0]).__name__} is outside the kernel language",
+                expr,
+            )
+        _verify_expression(expr.left)
+        _verify_expression(expr.comparators[0])
+    elif isinstance(expr, ast.UnaryOp):
+        if not isinstance(expr.op, ast.Not):
+            raise _fail("the only unary operator in the kernel language is not", expr)
+        _verify_expression(expr.operand)
+    else:
+        raise _fail(
+            f"expression form {type(expr).__name__} is outside the kernel language", expr
+        )
+
+
+def _verify_attribute(attribute: ast.Attribute) -> None:
+    if attribute.attr.startswith("_"):
+        raise _fail(f"underscore attribute {attribute.attr!r} is never generated", attribute)
+    base = attribute.value
+    if not isinstance(base, ast.Name):
+        raise _fail("attribute base must be a plain name", attribute)
+    if base.id == "store" and attribute.attr in STORE_API:
+        return
+    if base.id == "out" and attribute.attr == "append":
+        return
+    if re.match(r"\A_idx\d+\Z", base.id) and attribute.attr == "get":
+        return
+    raise _fail(
+        f"attribute access {base.id}.{attribute.attr} is outside the store API", attribute
+    )
+
+
+def _verify_call(call: ast.Call) -> None:
+    if call.keywords:
+        raise _fail("keyword arguments are outside the kernel language", call)
+    if any(isinstance(argument, ast.Starred) for argument in call.args):
+        raise _fail("star arguments are outside the kernel language", call)
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id != "_append":
+            raise _fail(f"call to unexpected function {func.id!r}", call)
+    elif isinstance(func, ast.Attribute):
+        _verify_attribute(func)
+    else:
+        raise _fail("call target must be a name or an allowed attribute", call)
+    for argument in call.args:
+        _verify_expression(argument)

@@ -44,6 +44,7 @@ import os
 from bisect import bisect_left
 from typing import Iterable, Optional
 
+from ..caches import register_cache
 from ..datalog.terms import Constant, Term, Variable
 from ..errors import EvaluationError
 from ..obs import REGISTRY as _OBS
@@ -327,6 +328,9 @@ def clear_store_cache() -> None:
     and packed keys they hold)."""
     _STORE_CACHE.clear()
     _OBS.reset("engine.store.")
+
+
+register_cache("engine/columnar.py:_STORE_CACHE", "clear_evaluation_caches", clear_store_cache)
 
 
 def store_cache_stats() -> dict[str, int]:

@@ -40,8 +40,10 @@ when the store's relations are large enough to clear the NumPy threshold.
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Callable, Iterable
 
+from ..caches import register_cache
 from ..datalog.atoms import ComparisonOp
 from ..datalog.conditions import Condition
 from ..datalog.queries import Query
@@ -74,6 +76,13 @@ _CONST_COMPARE = {
     ComparisonOp.EQ: ("==", "_eq"),
     ComparisonOp.NE: ("!=", "_eq"),
 }
+
+
+def kernel_verification_enabled() -> bool:
+    """Whether ``REPRO_VERIFY_KERNELS`` asks for pre-``exec`` verification of
+    every generated kernel.  Read per compile (compiles are rare and cached),
+    so tests can toggle the variable without reloading the module."""
+    return os.environ.get("REPRO_VERIFY_KERNELS", "").strip() not in ("", "0")
 
 
 def _empty_kernel(store: ColumnarStore) -> list:
@@ -233,6 +242,13 @@ def _compile_kernel(plan: Plan, output_terms: tuple[Term, ...]) -> Callable:
         + body
         + ["    return out"]
     )
+    if kernel_verification_enabled():
+        # Imported lazily: the verifier only loads when the gate is on, so
+        # the default path never pays the analysis-package import.
+        from ..analysis.kernelcheck import verify_kernel_source
+
+        verify_kernel_source(source, namespace)
+        _OBS.inc("engine.kernel.verified")
     exec(compile(source, "<plan-kernel>", "exec"), namespace)  # noqa: S102
     kernel = namespace["_kernel"]
     kernel._source = source  # debugging / tests
@@ -270,9 +286,13 @@ def get_kernel(plan: Plan, output_terms: tuple[Term, ...]) -> Callable:
 
 
 def clear_kernel_cache() -> None:
-    """Drop every compiled kernel and reset the compile/hit counters."""
+    """Drop every compiled kernel and reset the compile/hit (and, under
+    ``REPRO_VERIFY_KERNELS``, verified) counters."""
     _KERNEL_CACHE.clear()
     _OBS.reset("engine.kernel.")
+
+
+register_cache("engine/compile.py:_KERNEL_CACHE", "clear_evaluation_caches", clear_kernel_cache)
 
 
 def kernel_cache_stats() -> dict[str, int]:

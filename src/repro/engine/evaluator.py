@@ -40,6 +40,7 @@ from functools import lru_cache
 from typing import Iterable, Iterator, Mapping, Optional
 
 from ..aggregates.functions import AggregationFunction, get_function
+from ..caches import run_registered_clears
 from ..datalog.atoms import RelationalAtom
 from ..datalog.conditions import Condition
 from ..datalog.database import Database
@@ -49,7 +50,6 @@ from ..domains import NumericValue
 from ..errors import EvaluationError
 from ..obs import REGISTRY as _OBS
 from . import compile as _compile
-from .columnar import clear_store_cache
 from .modes import ENGINE_COMPILED, ENGINE_NAIVE, active_engine
 from .planner import AtomStep, BindStep, CompareStep, NegationStep, Plan, plan_condition
 
@@ -121,21 +121,27 @@ def _satisfying_assignments_cached(
 
 def clear_evaluation_caches() -> None:
     """Drop every concrete evaluation cache: the memoized Γ(q, D) results,
-    the compiled kernels, and the columnar stores (used for cold-cache
-    benchmarks and by tests that must observe re-compilation).
+    the compiled kernels, the columnar stores, and the parallel worker's
+    run-setup memo (used for cold-cache benchmarks and by tests that must
+    observe re-compilation).
+
+    The kernel/store/setup-memo drops run through the cache registry
+    (:mod:`repro.caches`): every module-level cache registered under this
+    entry resets here, which is what the ``cache-discipline`` checker of
+    :mod:`repro.analysis` enforces statically.
 
     Reset semantics for the metrics registry (pinned by the observability
-    regression tests): the ``engine.``-scope counters that describe these
-    caches reset with them — ``engine.kernel.*`` via ``clear_kernel_cache``,
-    ``engine.store.*`` via ``clear_store_cache``, plus the vector-vs-loop
-    ``engine.dispatch.*`` tallies here.  Everything else survives: the
-    shared-Γ counters (``engine.gamma.*``, owned by
-    ``clear_symbolic_caches``), and the ``sweep.``/``parallel.``/``worker.``
-    scopes, which describe work performed rather than cache state.
+    regression tests): the counters that describe these caches reset with
+    them — ``engine.kernel.*`` via ``clear_kernel_cache``, ``engine.store.*``
+    via ``clear_store_cache``, ``parallel.setup.*`` via ``clear_setup_memo``,
+    plus the vector-vs-loop ``engine.dispatch.*`` tallies here.  Everything
+    else survives: the shared-Γ counters (``engine.gamma.*``, owned by
+    ``clear_symbolic_caches``), and the ``sweep.``/``parallel.pool.``/
+    ``worker.``/``session.`` scopes, which describe work performed rather
+    than cache state.
     """
     _satisfying_assignments_cached.cache_clear()
-    _compile.clear_kernel_cache()
-    clear_store_cache()
+    run_registered_clears("clear_evaluation_caches")
     _OBS.reset("engine.dispatch.")
 
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from functools import cached_property, lru_cache
 from typing import Iterator, Mapping, Optional
 
+from ..caches import register_cache, run_registered_clears
 from ..datalog.atoms import RelationalAtom
 from ..datalog.conditions import Condition
 from ..datalog.database import Database, build_column_index
@@ -250,6 +251,23 @@ _ANSWER_COMPARISON_BY_RELATIONS: dict[tuple, bool] = {}
 _GROUP_INDEX_BY_RELATIONS: dict[tuple, dict] = {}
 _GROUP_INDEX_INTERN: dict[frozenset, dict] = {}
 
+# Each shared table is registered under clear_symbolic_caches, which drops
+# them together with the lru-backed memos and the Γ counters below.
+register_cache("engine/symbolic.py:_ASSIGNMENTS_BY_RELATIONS", "clear_symbolic_caches",
+               _ASSIGNMENTS_BY_RELATIONS.clear)
+register_cache("engine/symbolic.py:_GROUPS_BY_RELATIONS", "clear_symbolic_caches",
+               _GROUPS_BY_RELATIONS.clear)
+register_cache("engine/symbolic.py:_MULTISET_BY_RELATIONS", "clear_symbolic_caches",
+               _MULTISET_BY_RELATIONS.clear)
+register_cache("engine/symbolic.py:_GROUP_COMPARISON_BY_RELATIONS", "clear_symbolic_caches",
+               _GROUP_COMPARISON_BY_RELATIONS.clear)
+register_cache("engine/symbolic.py:_ANSWER_COMPARISON_BY_RELATIONS", "clear_symbolic_caches",
+               _ANSWER_COMPARISON_BY_RELATIONS.clear)
+register_cache("engine/symbolic.py:_GROUP_INDEX_BY_RELATIONS", "clear_symbolic_caches",
+               _GROUP_INDEX_BY_RELATIONS.clear)
+register_cache("engine/symbolic.py:_GROUP_INDEX_INTERN", "clear_symbolic_caches",
+               _GROUP_INDEX_INTERN.clear)
+
 
 def _shared_cache_put(cache: dict, key, value) -> None:
     if len(cache) >= _SHARED_CACHE_LIMIT:
@@ -325,16 +343,12 @@ def _compute_symbolic_assignments(
 
 
 def clear_symbolic_caches() -> None:
-    """Drop the memoized symbolic Γ(q, S_L) results (both keyings)."""
+    """Drop the memoized symbolic Γ(q, S_L) results (both keyings): the
+    lru-backed memos by hand, the shared relation-signature tables through
+    their cache-registry registrations."""
     _symbolic_assignments_cached.cache_clear()
     _representative_map.cache_clear()
-    _ASSIGNMENTS_BY_RELATIONS.clear()
-    _GROUPS_BY_RELATIONS.clear()
-    _MULTISET_BY_RELATIONS.clear()
-    _GROUP_COMPARISON_BY_RELATIONS.clear()
-    _ANSWER_COMPARISON_BY_RELATIONS.clear()
-    _GROUP_INDEX_BY_RELATIONS.clear()
-    _GROUP_INDEX_INTERN.clear()
+    run_registered_clears("clear_symbolic_caches")
     _OBS.reset("engine.gamma.")
 
 

@@ -15,7 +15,9 @@ class ReproError(Exception):
 class QuerySyntaxError(ReproError):
     """Raised when parsing a query (Datalog or SQL) fails."""
 
-    def __init__(self, message: str, text: str | None = None, position: int | None = None):
+    def __init__(
+        self, message: str, text: str | None = None, position: int | None = None
+    ) -> None:
         self.text = text
         self.position = position
         if text is not None and position is not None:
@@ -76,3 +78,10 @@ class RewritingError(ReproError):
     request falls outside the fragment the rewriting subsystem handles
     soundly (e.g. a negated view atom, or a duplicate-sensitive aggregate
     over a duplicating view)."""
+
+
+class KernelVerificationError(ReproError):
+    """Raised when a code-generated kernel source falls outside the closed
+    kernel language (:mod:`repro.analysis.kernelcheck`): an unexpected
+    statement or expression form, a name outside the generated vocabulary,
+    an import, or an attribute access outside the store API."""

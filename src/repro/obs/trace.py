@@ -36,7 +36,8 @@ from __future__ import annotations
 import json
 import os
 from time import monotonic
-from typing import IO, Iterable, Optional
+from types import TracebackType
+from typing import IO, Iterable, Optional, Union
 
 #: Environment variable naming the trace sink.  Set it to a writable file
 #: path to record one JSONL event per span begin/end.
@@ -76,12 +77,16 @@ class Span:
 
     __slots__ = ("name", "ident", "start", "_begin_attrs", "_end_attrs")
 
-    def __init__(self, name: str, attrs: dict):
+    name: str
+    ident: int
+    start: float
+
+    def __init__(self, name: str, attrs: dict[str, object]) -> None:
         self.name = name
         self._begin_attrs = attrs
-        self._end_attrs: Optional[dict] = None
+        self._end_attrs: Optional[dict[str, object]] = None
 
-    def note(self, **attrs) -> None:
+    def note(self, **attrs: object) -> None:
         """Attach result attributes to the forthcoming ``end`` event."""
         if self._end_attrs is None:
             self._end_attrs = attrs
@@ -96,9 +101,14 @@ class Span:
         _emit("begin", self.name, self.ident, self.start, self._begin_attrs)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         now = monotonic()
-        end_attrs = dict(self._end_attrs) if self._end_attrs else {}
+        end_attrs: dict[str, object] = dict(self._end_attrs) if self._end_attrs else {}
         end_attrs["dur_s"] = round(now - self.start, 9)
         if exc_type is not None:
             end_attrs["error"] = exc_type.__name__
@@ -110,20 +120,25 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def note(self, **attrs) -> None:
+    def note(self, **attrs: object) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         pass
 
 
 _NULL_SPAN = _NullSpan()
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: object) -> Union[Span, _NullSpan]:
     """A context manager tracing one pipeline stage.
 
     Returns the shared null span when tracing is disabled — the call sites
@@ -134,7 +149,7 @@ def span(name: str, **attrs):
     return Span(name, attrs)
 
 
-def _emit(event: str, name: str, ident: int, t: float, attrs: dict) -> None:
+def _emit(event: str, name: str, ident: int, t: float, attrs: dict[str, object]) -> None:
     sink = _sink
     if sink is None:  # disabled mid-span; drop the event
         return

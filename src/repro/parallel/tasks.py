@@ -39,6 +39,7 @@ from ..core.bounded import (
     prepare_bounded_run,
     prepare_sweep_run,
 )
+from ..caches import register_cache
 from ..core.equivalence import EquivalenceResult, Verdict, are_equivalent
 from ..datalog.queries import Query
 from ..datalog.terms import Constant
@@ -142,14 +143,33 @@ _SETUP_MEMO: dict[tuple, object] = {}
 _SETUP_MEMO_LIMIT = 64
 
 
+def clear_setup_memo() -> None:
+    """Drop every memoized run setup and reset its build/hit counters.
+
+    Registered under ``clear_evaluation_caches``: the setups hold
+    materialized BASEs and ordering classes keyed by query identity, so any
+    reset that drops the evaluation caches must drop them too — a stale
+    setup surviving into a reused process is exactly the leak the
+    cache-discipline checker exists to prevent.
+    """
+    _SETUP_MEMO.clear()
+    _OBS.reset("parallel.setup.")
+
+
+register_cache("parallel/tasks.py:_SETUP_MEMO", "clear_evaluation_caches", clear_setup_memo)
+
+
 def _memoized_setup(key: tuple, build):
     setup = _SETUP_MEMO.get(key)
     if setup is None:
+        _OBS.inc("parallel.setup.builds")
         setup = build()
         if len(_SETUP_MEMO) >= _SETUP_MEMO_LIMIT:
             for stale in list(_SETUP_MEMO)[: _SETUP_MEMO_LIMIT // 4]:
                 del _SETUP_MEMO[stale]
         _SETUP_MEMO[key] = setup
+    else:
+        _OBS.inc("parallel.setup.hits")
     return setup
 
 
@@ -692,6 +712,7 @@ def run_pair_task(task: PairCheckTask) -> PairOutcome:
     odd catalog entry does not abort the sweep."""
     before = capture_worker_metrics()
     if task.first.is_aggregate != task.second.is_aggregate:
+        # repro: allow[verdict-soundness] -- the shape mismatch itself is the witness: an aggregate and a non-aggregate query differ on result type over every database
         result = EquivalenceResult(
             Verdict.NOT_EQUIVALENT,
             method="incomparable shapes",

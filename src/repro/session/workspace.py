@@ -166,7 +166,7 @@ class Workspace:
         sweep: bool = True,
         rewrite_limit: int = 32,
         engine: Optional[str] = None,
-    ):
+    ) -> None:
         if engine is not None and engine not in ENGINE_MODES:
             raise ReproError(
                 f"unknown engine mode {engine!r}; expected one of {', '.join(ENGINE_MODES)}"
@@ -211,7 +211,7 @@ class Workspace:
         # Per-cell decision provenance feeding explain(): how each settled
         # cell was decided (sweep group / pair task / verdict cache), under
         # which engine, and in which equivalences() call.
-        self._provenance: dict[tuple[str, str], dict] = {}
+        self._provenance: dict[tuple[str, str], dict[str, object]] = {}
         self._equivalence_calls = 0
         self._closed = False
 
@@ -228,7 +228,7 @@ class Workspace:
     def __enter__(self) -> "Workspace":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
     @property
