@@ -487,11 +487,34 @@ class EngineThreadingChecker(Checker):
     engine_prefix = "engine/"
     #: The one module allowed to name mode strings (it defines them).
     modes_module = "engine/modes.py"
+    #: The multi-tenant service layer: *no* call of ``set_engine`` /
+    #: ``engine_scope`` at all (literal or threaded) — the engine mode is
+    #: process-global, so flipping it from a request handler leaks one
+    #: tenant's mode into every other tenant's decisions.  Service code
+    #: pins the mode per workspace (``Workspace(engine=...)``) instead.
+    service_prefix = "service/"
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         findings: list[Finding] = []
         inside_engine = module.relpath.startswith(self.engine_prefix)
+        inside_service = module.relpath.startswith(self.service_prefix)
         for node in ast.walk(module.tree):
+            if (
+                inside_service
+                and isinstance(node, ast.Call)
+                and _call_name(node.func) in ("set_engine", "engine_scope")
+            ):
+                findings.append(
+                    Finding(
+                        self.name,
+                        module.display_path,
+                        node.lineno,
+                        f"{_call_name(node.func)}() mutates the process-global "
+                        "engine mode from the multi-tenant service layer; pin "
+                        "the mode per tenant with Workspace(engine=...)",
+                    )
+                )
+                continue
             if not inside_engine:
                 if isinstance(node, ast.ImportFrom):
                     for alias in node.names:

@@ -72,6 +72,7 @@ EXEMPT_CACHES: dict[str, str] = {
     "engine/compile.py:_OP_TEXT": "constant operator-to-Python-source table",
     "engine/compile.py:_CONST_COMPARE": "constant bounds-comparison codegen table",
     "rewriting/unfold.py:THREADED_PAIRINGS": "constant aggregate-threading rule table",
+    "service/app.py:_STATUS_TEXT": "constant HTTP status-to-reason-phrase table",
     "sql/parser.py:_AGGREGATE_KEYWORDS": "constant SQL aggregate keyword set",
     "workloads/scenarios.py:WAREHOUSE_SCHEMA": "constant scenario schema description",
 }

@@ -80,6 +80,21 @@ class RewritingError(ReproError):
     over a duplicating view)."""
 
 
+class WorkerCrashError(ReproError):
+    """Raised when a pool worker process died (or was replaced) during — or
+    since — a parallel run.
+
+    A crashed worker loses whatever task it was executing and invalidates the
+    pool's accumulated per-process state (setup memos, warm caches), so the
+    run that observes the crash fails as a whole rather than merging a
+    half-drained generation of outcomes.  The condition is *retryable*: the
+    persistent executor discards the dead pool immediately, and the next run
+    forks a fresh one (counted by ``parallel.pool.heals``)."""
+
+    #: Callers serving traffic map this onto a retry-after response.
+    retryable = True
+
+
 class KernelVerificationError(ReproError):
     """Raised when a code-generated kernel source falls outside the closed
     kernel language (:mod:`repro.analysis.kernelcheck`): an unexpected

@@ -25,14 +25,22 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 from typing import Callable, Iterable, Optional, Protocol, Sequence
 
+from ..errors import WorkerCrashError
 from ..obs import REGISTRY as _OBS
 from ..obs import span as _span
 
 #: Environment variable read by :func:`default_workers`; CI legs set it to
 #: exercise the parallel paths across the whole test suite.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: How long the drain loop waits on the result iterator before checking the
+#: pool's workers for deaths.  A lost task (its worker SIGKILLed mid-run)
+#: never produces a result, so without the poll the drain would block
+#: forever; with it, a crash surfaces within one poll interval.
+_DRAIN_POLL_S = 0.25
 
 #: Set in pool workers: nested parallel entry points degrade to serial.
 _IN_WORKER = False
@@ -152,6 +160,73 @@ def _fork_pool(processes: int):
     return pool, event
 
 
+def _live_worker_pids(pool) -> frozenset:
+    """The pids of the pool's currently-live worker processes.
+
+    ``multiprocessing.Pool`` keeps its worker ``Process`` handles in the
+    private ``_pool`` list and exposes no liveness API; the crash watch reads
+    the handles directly.  A worker the pool already *replaced* after a death
+    shows up here with a fresh pid, so comparing against the fork-time set
+    detects replacements as well as outright deaths."""
+    return frozenset(
+        process.pid for process in getattr(pool, "_pool", ()) if process.is_alive()
+    )
+
+
+def _check_pool_health(pool, expected_pids: frozenset) -> None:
+    """Raise :class:`WorkerCrashError` when the pool's live workers no longer
+    match the fork-time set (a worker died, or died and was silently replaced
+    by the pool's maintenance thread)."""
+    live = _live_worker_pids(pool)
+    if live != expected_pids:
+        lost = sorted(expected_pids - live)
+        raise WorkerCrashError(
+            f"pool worker(s) {lost or sorted(live - expected_pids)} died during a "
+            "parallel run; the pool has been discarded and the next run will "
+            "fork a fresh one"
+        )
+
+
+def _reap_crashed_pool(pool) -> None:
+    """Tear down a pool that lost a worker.
+
+    ``Pool.terminate`` assumes cooperative workers: an idle worker blocks
+    inside ``inqueue.get()`` *holding* the queue's reader lock, so a worker
+    killed there leaves the lock acquired forever and ``terminate`` deadlocks
+    in ``_help_stuff_finish`` (likewise a worker killed mid-result-``put``
+    and the out-queue's writer lock).  The crashed-pool teardown therefore
+    (1) kills the remaining workers outright, (2) force-releases the queue
+    locks — POSIX semaphores, so a parent-side release repairs a dead
+    holder, and ``ValueError`` just means the lock was free — and (3) runs
+    the normal teardown on a daemon thread, so even a teardown wedged by an
+    unlucky interleaving can never block the serving process (the workers
+    are already dead; only parent-side daemon threads remain)."""
+    for process in list(getattr(pool, "_pool", ())):
+        if process.is_alive():
+            try:
+                process.kill()
+            except OSError:  # pragma: no cover - already reaped
+                pass
+    for queue in (pool._inqueue, pool._outqueue):
+        for lock_name in ("_rlock", "_wlock"):
+            orphan = getattr(queue, lock_name, None)
+            if orphan is None:
+                continue
+            try:
+                orphan.release()
+            except ValueError:  # the lock was not held; nothing to repair
+                pass
+
+    def _teardown() -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+    threading.Thread(target=_teardown, name="repro-pool-reaper", daemon=True).start()
+
+
 def _drain_pool(
     pool,
     event,
@@ -159,17 +234,36 @@ def _drain_pool(
     tasks: Sequence,
     stop: Optional[Callable[[object], bool]],
     chunksize: int,
+    expected_pids: Optional[frozenset] = None,
 ) -> list:
     """The shared dispatch loop: ``imap_unordered`` with cooperative early
     exit — once ``stop`` accepts an outcome the cancellation event is set and
     the remaining tasks return immediately with their ``cancelled`` marker.
     The returned outcome list is complete, so the caller's deterministic
-    merge sees every shard that did real work."""
+    merge sees every shard that did real work.
+
+    The drain waits in :data:`_DRAIN_POLL_S` slices and checks worker
+    liveness between slices (and once more after the last result): a worker
+    SIGKILLed mid-run loses its in-flight task — the pool would simply never
+    deliver that result — so the drain raises :class:`WorkerCrashError`
+    instead of blocking forever, *before* any caller merges the partial
+    outcome list into a verdict."""
+    if expected_pids is None:
+        expected_pids = _live_worker_pids(pool)
     outcomes = []
-    for outcome in pool.imap_unordered(worker, tasks, chunksize=chunksize):
+    iterator = pool.imap_unordered(worker, tasks, chunksize=chunksize)
+    while True:
+        try:
+            outcome = iterator.next(timeout=_DRAIN_POLL_S)
+        except StopIteration:
+            break
+        except multiprocessing.TimeoutError:
+            _check_pool_health(pool, expected_pids)
+            continue
         outcomes.append(outcome)
         if stop is not None and stop(outcome) and not event.is_set():
             event.set()
+    _check_pool_health(pool, expected_pids)
     return outcomes
 
 
@@ -198,8 +292,20 @@ class ProcessExecutor:
         if self.workers <= 1 or len(tasks) <= 1 or in_worker():
             return SerialExecutor().run(worker, tasks, stop)
         pool, event = _fork_pool(min(self.workers, len(tasks), available_cores()))
-        with pool:
-            return _drain_pool(pool, event, worker, tasks, stop, self.chunksize)
+        try:
+            outcomes = _drain_pool(pool, event, worker, tasks, stop, self.chunksize)
+        except WorkerCrashError:
+            # Normal teardown would deadlock on the dead worker's queue
+            # locks; route through the crashed-pool reaper instead.
+            _reap_crashed_pool(pool)
+            raise
+        except BaseException:
+            pool.terminate()
+            pool.join()
+            raise
+        pool.terminate()
+        pool.join()
+        return outcomes
 
 
 class PersistentProcessExecutor:
@@ -222,6 +328,13 @@ class PersistentProcessExecutor:
     as a context manager) terminates the pool; a closed executor degrades to
     serial execution rather than erroring, so a session wound down mid-flight
     still completes its work.
+
+    **Crash semantics.**  A worker that dies mid-run (or between runs, while
+    the pool sits idle) raises :class:`~repro.errors.WorkerCrashError` out of
+    the observing ``run`` call — *after* the dead pool has been discarded, so
+    ``alive`` is already ``False`` before any caller merges outcomes.  The
+    next ``run`` forks a fresh pool (``parallel.pool.heals`` counts these
+    recoveries): one crash costs one failed call, never a wedged session.
     """
 
     def __init__(self, workers: int, chunksize: int = 1):
@@ -231,6 +344,8 @@ class PersistentProcessExecutor:
         self._pool = None
         self._event = None
         self._closed = False
+        self._pids: frozenset = frozenset()
+        self._crashed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -255,8 +370,13 @@ class PersistentProcessExecutor:
         self._pool = None
         self._event = None
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            if self._crashed:
+                # A dead worker may still hold a queue lock; the graceful
+                # terminate would deadlock on it (see _reap_crashed_pool).
+                _reap_crashed_pool(pool)
+            else:
+                pool.terminate()
+                pool.join()
 
     def __enter__(self) -> "PersistentProcessExecutor":
         return self
@@ -279,7 +399,14 @@ class PersistentProcessExecutor:
             # the first call's task count: the same pool serves every later
             # (possibly much larger) run of the session.
             self._pool, self._event = _fork_pool(min(self.workers, available_cores()))
+            self._pids = _live_worker_pids(self._pool)
             self.forks += 1
+            if self._crashed:
+                # This fork replaces a pool that died: the auto-heal the
+                # service's 503-then-retry contract relies on.  Counted
+                # separately from plain forks so recoveries stay visible.
+                self._crashed = False
+                _OBS.inc("parallel.pool.heals")
         return self._pool
 
     def run(
@@ -291,16 +418,32 @@ class PersistentProcessExecutor:
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1 or in_worker() or self._closed:
             return SerialExecutor().run(worker, tasks, stop)
+        if self._pool is not None:
+            # A worker may have died since the previous run (the pool sat
+            # idle).  Its warm per-process state is gone either way, so the
+            # crash surfaces here — before any new tasks are dispatched —
+            # and the *next* run forks fresh.
+            try:
+                _check_pool_health(self._pool, self._pids)
+            except WorkerCrashError:
+                self._crashed = True
+                self._discard_pool()
+                raise
         pool = self._ensure_pool()
         self._event.clear()
         try:
-            return _drain_pool(pool, self._event, worker, tasks, stop, self.chunksize)
+            return _drain_pool(
+                pool, self._event, worker, tasks, stop, self.chunksize, self._pids
+            )
         except BaseException:
             # A failed drain (a worker died, an exception propagated out of
             # imap) leaves the pool in an unknown state.  Discard it so the
             # next run forks a fresh one — one transient failure must not
             # wedge the long-lived session — and let the caller see the
-            # error.
+            # error.  The discard happens before the exception reaches the
+            # caller, so ``alive`` is already False by the time any merge
+            # logic could run: a half-drained generation is never merged.
+            self._crashed = True
             self._discard_pool()
             raise
 

@@ -1,0 +1,102 @@
+"""Frozen copy-on-write snapshots of each tenant's settled state.
+
+Mutations (``add``, ``view``, ``equivalences``, ``rewrite``) run in a
+worker thread serialized by the tenant's asyncio lock; read-only GETs must
+not queue behind a multi-second sweep just to read verdicts that were
+settled long before it started.  The snapshot store is what lets them skip
+the lock entirely:
+
+* After every successful mutation — while still holding the tenant lock —
+  the service publishes a :class:`TenantSnapshot`: shallow copies of the
+  workspace's query catalog, settled cell map, and provenance map.  The
+  values (:class:`~repro.datalog.queries.Query`,
+  :class:`~repro.core.equivalence.EquivalenceResult`) are immutable, so a
+  shallow dict copy is a complete freeze — copy-on-write in the only sense
+  that matters: the *maps* are copied, the heavyweight values are shared.
+* Read-only GETs (``equivalences``, ``explain``) resolve against the
+  latest published snapshot on the event loop thread, with no lock and no
+  thread hop.  A concurrent writer mutates the live workspace and then
+  publishes a *new* snapshot object; readers that already hold the old one
+  keep a consistent (if slightly stale) view.  ``version`` — the tenant's
+  mutation ordinal — makes the staleness observable to clients.
+
+The store itself is a module-level cache keyed by the registry-qualified
+tenant key, registered with :mod:`repro.caches` under
+``clear_service_caches`` so the PR 8 cache-discipline checker sees its
+reset wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..caches import register_cache
+from ..core.equivalence import EquivalenceResult
+from ..datalog.queries import Query
+from ..obs import CellExplanation
+from ..session import Workspace, explain_cell
+
+
+@dataclass(frozen=True)
+class TenantSnapshot:
+    """One tenant's settled state, frozen at a mutation boundary."""
+
+    #: The tenant's public name (the URL path segment).
+    tenant: str
+    #: The mutation ordinal that published this snapshot (1-based; each
+    #: successful mutation bumps it, so readers can order what they saw).
+    version: int
+    queries: Mapping[str, Query]
+    cells: Mapping[tuple[str, str], EquivalenceResult]
+    provenance: Mapping[tuple[str, str], Mapping[str, object]]
+
+    def explain(self, first: str, second: str) -> CellExplanation:
+        """Provenance of one settled cell, exactly as the live workspace
+        would explain it (same :func:`~repro.session.explain_cell`)."""
+        return explain_cell(self.queries, self.cells, self.provenance, first, second)
+
+    @classmethod
+    def empty(cls, tenant: str) -> "TenantSnapshot":
+        """The snapshot of a tenant no mutation has touched yet."""
+        return cls(tenant=tenant, version=0, queries={}, cells={}, provenance={})
+
+
+#: Latest published snapshot per registry-qualified tenant key.  Written
+#: only under the owning tenant's lock; read lock-free from the event loop
+#: (a dict get of an immutable value).
+_SNAPSHOT_STORE: dict[str, TenantSnapshot] = {}
+
+register_cache(
+    "service/snapshots.py:_SNAPSHOT_STORE",
+    "clear_service_caches",
+    _SNAPSHOT_STORE.clear,
+)
+
+
+def publish(key: str, tenant: str, version: int, workspace: Workspace) -> TenantSnapshot:
+    """Freeze ``workspace``'s settled state as ``tenant``'s snapshot
+    ``version`` and make it the one readers resolve.
+
+    Must run while the caller holds the tenant's mutation lock — the copy
+    reads the workspace's live maps."""
+    snapshot = TenantSnapshot(
+        tenant=tenant,
+        version=version,
+        queries=workspace.queries,
+        cells=workspace.settled_cells(),
+        provenance=workspace.cell_provenance(),
+    )
+    _SNAPSHOT_STORE[key] = snapshot
+    return snapshot
+
+
+def current(key: str) -> Optional[TenantSnapshot]:
+    """The latest snapshot published under ``key`` (``None`` before the
+    first mutation)."""
+    return _SNAPSHOT_STORE.get(key)
+
+
+def drop(key: str) -> None:
+    """Forget ``key``'s snapshot (tenant eviction/deletion)."""
+    _SNAPSHOT_STORE.pop(key, None)

@@ -16,6 +16,6 @@ so existing callers keep working unchanged.
 """
 
 from ..obs import CellExplanation
-from .workspace import Workspace, WorkspaceStats
+from .workspace import Workspace, WorkspaceStats, explain_cell
 
-__all__ = ["CellExplanation", "Workspace", "WorkspaceStats"]
+__all__ = ["CellExplanation", "Workspace", "WorkspaceStats", "explain_cell"]

@@ -219,9 +219,20 @@ class Workspace:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """End the session: terminate the owned worker pool.  Idempotent;
-        a closed workspace refuses further work."""
+        """End the session: terminate the owned worker pool and drop the
+        per-session caches (the structural verdict cache, the rewrite
+        verification cache, the rewriting engine, the grown shared context).
+        Idempotent; a closed workspace refuses further *work* but keeps its
+        settled cells and provenance, so :meth:`explain` stays available.
+
+        This is the one teardown path: the context manager, the interpreter's
+        best-effort ``__del__``, and service-layer tenant eviction
+        (:class:`repro.service.tenants.TenantRegistry`) all funnel here."""
         self._closed = True
+        self._verdict_cache.clear()
+        self._rewrite_cache.clear()
+        self._engine = None
+        self._context = None
         if self._owns_executor and self._executor is not None:
             self._executor.close()  # type: ignore[union-attr]
 
@@ -230,6 +241,12 @@ class Workspace:
 
     def __exit__(self, *_exc: object) -> None:
         self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup; close() is the API
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     @property
     def closed(self) -> bool:
@@ -497,44 +514,22 @@ class Workspace:
         new decisions.  Works on a closed workspace — explaining is pure
         introspection over already-settled state.
         """
-        if first == second:
-            raise ReproError("explain() needs two distinct catalog queries")
-        for name in (first, second):
-            if name not in self._queries:
-                raise ReproError(f"workspace has no query named {name!r}")
-        pair = (first, second) if first < second else (second, first)
-        result = self._results.get(pair)
-        if result is None:
-            raise ReproError(
-                f"cell {pair!r} is not settled; call equivalences() first"
-            )
-        provenance = self._provenance.get(pair, {})
-        bound = None
-        search: dict[str, int] = {}
-        if result.report is not None:
-            bound = result.report.bound
-            search = {
-                "subsets_examined": result.report.subsets_examined,
-                "orderings_examined": result.report.orderings_examined,
-                "identities_checked": result.report.identities_checked,
-                "subsets_skipped_by_symmetry": result.report.subsets_skipped_by_symmetry,
-            }
-        return CellExplanation(
-            pair=pair,
-            verdict=result.verdict.value,
-            method=result.method,
-            dispatch_class=dispatch_class_of(result.method),
-            normalization=normalization_of(result.method),
-            engine=provenance.get("engine", "unknown"),
-            cache_served=bool(provenance.get("cache_served", False)),
-            decision_path=provenance.get("path", "unknown"),
-            decided_in_call=provenance.get("call"),
-            domain=result.domain.value,
-            bound=bound,
-            details=result.details or None,
-            witness=result.counterexample,
-            search=search,
-        )
+        return explain_cell(self._queries, self._results, self._provenance, first, second)
+
+    # ------------------------------------------------------------------
+    # Frozen state export (the service snapshot path)
+    # ------------------------------------------------------------------
+    def settled_cells(self) -> dict[tuple[str, str], EquivalenceResult]:
+        """A shallow copy of every settled cell (results are immutable, so
+        the copy is cheap and safe to read without the workspace lock a
+        caller may be serializing mutations with)."""
+        return dict(self._results)
+
+    def cell_provenance(self) -> dict[tuple[str, str], dict[str, object]]:
+        """A copy of the per-cell decision provenance feeding
+        :func:`explain_cell` (one level deep: the per-cell records are
+        copied too, since :meth:`equivalences` mutates them in place)."""
+        return {pair: dict(record) for pair, record in self._provenance.items()}
 
     def _cache_verdict(self, pair: tuple[str, str], result: EquivalenceResult) -> None:
         if len(self._verdict_cache) >= _VERDICT_CACHE_LIMIT:
@@ -631,6 +626,64 @@ class Workspace:
                 sweep=self._sweep,
             )
         return self._engine
+
+
+def explain_cell(
+    queries: Mapping[str, Query],
+    results: Mapping[tuple[str, str], EquivalenceResult],
+    provenance: Mapping[tuple[str, str], Mapping[str, object]],
+    first: str,
+    second: str,
+) -> CellExplanation:
+    """The decision provenance of one settled cell, from frozen state.
+
+    The shared implementation behind :meth:`Workspace.explain` and the
+    service's lock-free snapshot reads
+    (:meth:`repro.service.snapshots.TenantSnapshot.explain`): it works over
+    plain mappings, so a copied snapshot of a workspace's settled state
+    explains cells exactly as the live workspace would."""
+    if first == second:
+        raise ReproError("explain() needs two distinct catalog queries")
+    for name in (first, second):
+        if name not in queries:
+            raise ReproError(f"workspace has no query named {name!r}")
+    pair = (first, second) if first < second else (second, first)
+    result = results.get(pair)
+    if result is None:
+        raise ReproError(
+            f"cell {pair!r} is not settled; call equivalences() first"
+        )
+    record = provenance.get(pair, {})
+    bound = None
+    search: dict[str, int] = {}
+    if result.report is not None:
+        bound = result.report.bound
+        search = {
+            "subsets_examined": result.report.subsets_examined,
+            "orderings_examined": result.report.orderings_examined,
+            "identities_checked": result.report.identities_checked,
+            "subsets_skipped_by_symmetry": result.report.subsets_skipped_by_symmetry,
+        }
+    return CellExplanation(
+        pair=pair,
+        verdict=result.verdict.value,
+        method=result.method,
+        dispatch_class=dispatch_class_of(result.method),
+        normalization=normalization_of(result.method),
+        engine=str(record.get("engine", "unknown")),
+        cache_served=bool(record.get("cache_served", False)),
+        decision_path=str(record.get("path", "unknown")),
+        decided_in_call=_maybe_int(record.get("call")),
+        domain=result.domain.value,
+        bound=bound,
+        details=result.details or None,
+        witness=result.counterexample,
+        search=search,
+    )
+
+
+def _maybe_int(value: object) -> Optional[int]:
+    return value if isinstance(value, int) else None
 
 
 def _looks_like_sql(text: str) -> bool:

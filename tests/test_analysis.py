@@ -298,6 +298,24 @@ class TestEngineThreading:
         source = 'set_engine("compiled")\n'
         assert findings_for({"engine/modes.py": source}, self.checker) == []
 
+    def test_service_may_not_call_engine_scope_even_threaded(self):
+        # Outside service/, a *threaded* mode variable is fine; the
+        # multi-tenant service layer may not flip the process-global mode
+        # at all — one tenant's scope would leak into every other tenant.
+        source = "with engine_scope(request.engine):\n    pass\n"
+        findings = findings_for({"service/app.py": source}, self.checker)
+        assert locations(findings) == [("service/app.py", 1, "engine-threading")]
+        assert "Workspace(engine=...)" in findings[0].message
+
+    def test_service_may_not_call_set_engine(self):
+        source = "def handler(mode):\n    set_engine(mode)\n"
+        findings = findings_for({"service/tenants.py": source}, self.checker)
+        assert locations(findings) == [("service/tenants.py", 2, "engine-threading")]
+
+    def test_service_workspace_pinning_is_clean(self):
+        source = "ws = Workspace(engine=engine, workers=workers)\n"
+        assert findings_for({"service/tenants.py": source}, self.checker) == []
+
 
 # ----------------------------------------------------------------------
 # suppressions

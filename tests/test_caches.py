@@ -46,6 +46,7 @@ class TestRegistry:
             assert registration.clearer in (
                 "clear_evaluation_caches",
                 "clear_symbolic_caches",
+                "clear_service_caches",
             ), registration.key
 
     def test_every_exemption_carries_a_reason(self):

@@ -411,6 +411,81 @@ def _square(value):
     return value * value
 
 
+def _poison(value):
+    """Pool-worker task: ``"poison"`` SIGKILLs the executing worker mid-run —
+    the genuine crash the persistent executor must observe and surface."""
+    if value == "poison":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+class TestWorkerCrashRecovery:
+    """A worker death marks the pool dead *before* outcomes are merged, the
+    crash surfaces as the structured retryable error, and the next run
+    re-forks (the auto-heal counted by ``parallel.pool.heals``)."""
+
+    def test_poison_task_raises_and_marks_pool_dead(self):
+        from repro.errors import WorkerCrashError
+        from repro.obs import REGISTRY
+        from repro.parallel import PersistentProcessExecutor
+
+        heals_before = REGISTRY.get("parallel.pool.heals")
+        executor = PersistentProcessExecutor(2)
+        try:
+            warm = executor.run(_poison, ["a", "b", "c", "d"])
+            assert sorted(warm) == ["aa", "bb", "cc", "dd"]
+            assert executor.alive and executor.forks == 1
+
+            with pytest.raises(WorkerCrashError):
+                executor.run(_poison, ["a", "poison", "b", "c"])
+            # The half-drained generation is never merged: the pool is
+            # already dead when the error reaches the caller.
+            assert not executor.alive
+
+            healed = executor.run(_poison, ["a", "b", "c", "d"])
+            assert sorted(healed) == ["aa", "bb", "cc", "dd"]
+            assert executor.forks == 2
+            assert REGISTRY.get("parallel.pool.heals") == heals_before + 1
+        finally:
+            executor.close()
+
+    def test_idle_worker_death_surfaces_on_next_run(self):
+        import signal
+        import time
+
+        from repro.errors import WorkerCrashError
+        from repro.parallel import PersistentProcessExecutor
+
+        executor = PersistentProcessExecutor(2)
+        try:
+            executor.run(_poison, ["a", "b", "c", "d"])
+            victim = next(iter(executor._pids))
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.3)  # let the kill land before the next run
+            with pytest.raises(WorkerCrashError):
+                executor.run(_poison, ["a", "b", "c", "d"])
+            assert not executor.alive
+            healed = executor.run(_poison, ["x", "y"])
+            assert sorted(healed) == ["xx", "yy"]
+        finally:
+            executor.close()
+
+    def test_worker_exception_still_discards_pool(self):
+        from repro.parallel import PersistentProcessExecutor
+
+        executor = PersistentProcessExecutor(2)
+        try:
+            with pytest.raises(TypeError):
+                executor.run(_square, ["a", None, "b", "c"])
+            assert not executor.alive
+            healed = executor.run(_square, [2, 3])
+            assert sorted(healed) == [4, 9]
+        finally:
+            executor.close()
+
+
 class TestRangeShippingShards:
     """The (start, count) range shards vs the row-shipping reference."""
 
