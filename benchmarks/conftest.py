@@ -17,7 +17,24 @@ from pathlib import Path
 
 import pytest
 
+from repro.store import reset_shared_store
+
 _SUMMARY_PATH = Path(__file__).resolve().parent / "reproduction_summary.txt"
+
+
+@pytest.fixture(autouse=True)
+def _isolated_verdict_store(monkeypatch, tmp_path):
+    """Benchmarks measure decision work, so no benchmark may be fed verdicts
+    another one settled: drop the process-wide store around each, and point
+    an inherited ``REPRO_STORE_PATH`` at a per-test file (the store
+    benchmark manages its own paths explicitly)."""
+    import os
+
+    if os.environ.get("REPRO_STORE_PATH"):
+        monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "verdicts.sqlite3"))
+    reset_shared_store()
+    yield
+    reset_shared_store()
 
 
 def pytest_configure(config):

@@ -130,6 +130,27 @@ def reduce_query(query: Query, domain: Domain = Domain.RATIONALS) -> Query:
     return Query(query.name, head_terms, (reduced_condition,), aggregate)
 
 
+def reduction_for_keying(query: Query, domain: Domain = Domain.RATIONALS) -> Query:
+    """The reduction the canonical verdict-store key traverses
+    (:mod:`repro.store.canon`).
+
+    Conjunctive queries go through :func:`reduce_query` verbatim, so two
+    queries differing only in entailed equalities (``y = 1`` vs
+    ``y = z, z = 1``) share a canonical form.  Disjunctive queries have no
+    single head substitution (each disjunct entails its own equalities, but
+    the head is shared), so they only drop per-disjunct trivial comparisons —
+    a weaker but still equivalence-preserving normal form.  Every transform
+    applied here preserves query semantics, which is what makes hashing the
+    result sound as a cache key: equal keys imply equivalent queries, never
+    merely similar ones.
+    """
+    if query.is_conjunctive:
+        return reduce_query(query, domain)
+    return query.with_disjuncts(
+        tuple(disjunct.without_trivial_comparisons() for disjunct in query.disjuncts)
+    )
+
+
 def is_reduced(query: Query, domain: Domain = Domain.RATIONALS) -> bool:
     """Whether a conjunctive query is already reduced over the domain."""
     if not query.is_conjunctive:

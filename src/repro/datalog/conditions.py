@@ -54,19 +54,28 @@ class Condition:
     # ------------------------------------------------------------------
     @property
     def positive_atoms(self) -> tuple[RelationalAtom, ...]:
-        return tuple(
-            literal
-            for literal in self.literals
-            if isinstance(literal, RelationalAtom) and literal.is_positive
-        )
+        # Planning touches this on every evaluation; cache like the hash.
+        cached = self.__dict__.get("_cached_positive_atoms")
+        if cached is None:
+            cached = tuple(
+                literal
+                for literal in self.literals
+                if isinstance(literal, RelationalAtom) and literal.is_positive
+            )
+            object.__setattr__(self, "_cached_positive_atoms", cached)
+        return cached
 
     @property
     def negated_atoms(self) -> tuple[RelationalAtom, ...]:
-        return tuple(
-            literal
-            for literal in self.literals
-            if isinstance(literal, RelationalAtom) and literal.negated
-        )
+        cached = self.__dict__.get("_cached_negated_atoms")
+        if cached is None:
+            cached = tuple(
+                literal
+                for literal in self.literals
+                if isinstance(literal, RelationalAtom) and literal.negated
+            )
+            object.__setattr__(self, "_cached_negated_atoms", cached)
+        return cached
 
     @property
     def relational_atoms(self) -> tuple[RelationalAtom, ...]:

@@ -39,6 +39,7 @@ from ..caches import register_cache
 from ..errors import ReproError
 from ..obs import REGISTRY as _OBS
 from ..session import Workspace
+from ..store.disk import shared_store
 from . import snapshots
 from .admission import AdmissionPolicy
 from .protocol import ProtocolError
@@ -165,6 +166,11 @@ class TenantRegistry:
                 workers=self._workers,
                 max_subsets=self._policy.max_subsets,
                 engine=self._engine,
+                # Every tenant shares the one process-wide verdict store
+                # (disk-backed when REPRO_STORE_PATH is set, in-memory
+                # otherwise): tenant A's settled cells serve tenant B's
+                # renamed duplicates without re-running a sweep.
+                store=shared_store(),
             ),
         )
         _TENANT_LRU[key] = tenant

@@ -48,6 +48,7 @@ returned witness remains a genuine distinguishing database.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
@@ -78,9 +79,11 @@ from ..rewriting.engine import (
 )
 from ..rewriting.views import View, ViewCatalog
 from ..sql.translate import Schema, SqlTranslator
+from ..store.disk import VerdictStore, default_store, shared_store
 
-#: Cap on the structural verdict cache; on overflow the oldest quarter is
-#: evicted (dicts iterate insertion-first), bounding a very long session.
+#: Cap on the structural verdict cache; on overflow the least-recently-used
+#: quarter is evicted (hits refresh recency), bounding a very long session
+#: while keeping its hot pairs resident.
 _VERDICT_CACHE_LIMIT = 65536
 
 #: Cap on the rewrite-verification cache.  Entries are heavy (full
@@ -109,6 +112,7 @@ class WorkspaceStats:
     views: int
     decided_cells: int
     verdict_cache_hits: int
+    store_hits: int
     rewrite_cache_hits: int
     pool_forks: int
     workers: int
@@ -120,7 +124,7 @@ class WorkspaceStats:
         lines = ["workspace:"]
         for label in (
             "queries", "views", "decided_cells", "verdict_cache_hits",
-            "rewrite_cache_hits", "pool_forks", "workers",
+            "store_hits", "rewrite_cache_hits", "pool_forks", "workers",
         ):
             lines.append(f"  {label}: {getattr(self, label)}")
         if self.plan_cache:
@@ -146,8 +150,14 @@ class Workspace:
     every decision the session makes.  ``engine`` pins the evaluation engine
     (``"naive"`` | ``"planned"`` | ``"compiled"``) for every decision and
     rewriting verification of the session; ``None`` follows the process-wide
-    mode (``REPRO_ENGINE``, default ``compiled``).  Use as a context manager
-    (or call :meth:`close`) to release the pool.
+    mode (``REPRO_ENGINE``, default ``compiled``).  ``store`` selects the
+    second verdict tier behind the structural cache: a
+    :class:`~repro.store.VerdictStore` to use one explicitly, ``True`` for
+    the process-wide shared store, ``False`` for none, and ``None`` (the
+    default) for the shared store exactly when ``REPRO_STORE_PATH`` opts the
+    process in — so a bare ``Workspace()`` without the env var behaves as it
+    always did.  Use as a context manager (or call :meth:`close`) to release
+    the pool.
     """
 
     def __init__(
@@ -166,6 +176,7 @@ class Workspace:
         sweep: bool = True,
         rewrite_limit: int = 32,
         engine: Optional[str] = None,
+        store: Union[VerdictStore, bool, None] = None,
     ) -> None:
         if engine is not None and engine not in ENGINE_MODES:
             raise ReproError(
@@ -198,7 +209,13 @@ class Workspace:
         self._views: dict[str, View] = {}
         self._queries: dict[str, Query] = {}
         self._results: dict[tuple[str, str], EquivalenceResult] = {}
-        self._verdict_cache: dict[tuple[Query, Query], EquivalenceResult] = {}
+        self._verdict_cache: "OrderedDict[tuple[Query, Query], EquivalenceResult]" = OrderedDict()
+        if isinstance(store, VerdictStore):
+            self._store: Optional[VerdictStore] = store
+        elif store is None:
+            self._store = default_store()
+        else:
+            self._store = shared_store() if store else None
         self._context: Optional[SharedBaseContext] = None
         self._engine: Optional[RewritingEngine] = None
         self._rewrite_cache: dict[
@@ -207,6 +224,7 @@ class Workspace:
         ] = {}
         self._decided_cells = 0
         self._verdict_cache_hits = 0
+        self._store_hits = 0
         self._rewrite_cache_hits = 0
         # Per-cell decision provenance feeding explain(): how each settled
         # cell was decided (sweep group / pair task / verdict cache), under
@@ -278,6 +296,12 @@ class Workspace:
         """The session executor (``None`` when the session runs serially)."""
         return self._executor
 
+    @property
+    def store(self) -> Optional[VerdictStore]:
+        """The verdict-store tier behind the structural cache (``None``
+        means the session runs with today's in-memory caches only)."""
+        return self._store
+
     def __len__(self) -> int:
         return len(self._queries)
 
@@ -299,6 +323,7 @@ class Workspace:
             views=len(self._views),
             decided_cells=self._decided_cells,
             verdict_cache_hits=self._verdict_cache_hits,
+            store_hits=self._store_hits,
             rewrite_cache_hits=self._rewrite_cache_hits,
             pool_forks=getattr(self._executor, "forks", 0) if self._executor else 0,
             workers=self._workers,
@@ -450,16 +475,43 @@ class Workspace:
         for pair in pairs:
             if pair in self._results:
                 continue
-            cached = self._verdict_cache.get((self._queries[pair[0]], self._queries[pair[1]]))
+            cache_key = (self._queries[pair[0]], self._queries[pair[1]])
+            cached = self._verdict_cache.get(cache_key)
             if cached is not None:
                 # A structurally identical pair was already decided (under
                 # other names).  Verdict/method/details transfer verbatim;
-                # hand out a copy so per-cell consumers never alias.
+                # hand out a copy so per-cell consumers never alias.  The
+                # hit refreshes the entry's recency so hot pairs survive
+                # the LRU eviction of :meth:`_cache_verdict`.
+                self._verdict_cache.move_to_end(cache_key)
                 self._results[pair] = replace(cached)
                 self._verdict_cache_hits += 1
                 _OBS.inc("session.verdict_cache.hits")
                 self._provenance[pair] = {
                     "path": "cache",
+                    "engine": engine_used,
+                    "cache_served": True,
+                    "call": call,
+                }
+                continue
+            served = (
+                self._store.serve(cache_key[0], cache_key[1], self._domain, self._engine_mode)
+                if self._store is not None
+                else None
+            )
+            if served is not None:
+                # Second tier: another workspace (tenant, or an earlier
+                # process when the store is disk-backed) settled a
+                # canonically identical pair — possibly under renamed
+                # variables or reordered literals.  NOT_EQUIVALENT verdicts
+                # arrive here only after their witness re-reproduced the
+                # disagreement (repro.store.witness).
+                self._results[pair] = served
+                self._cache_verdict(pair, served)
+                self._store_hits += 1
+                _OBS.inc("session.store.hits")
+                self._provenance[pair] = {
+                    "path": "store",
                     "engine": engine_used,
                     "cache_served": True,
                     "call": call,
@@ -499,6 +551,18 @@ class Workspace:
                     "cache_served": False,
                     "call": call,
                 }
+                if self._store is not None:
+                    # Write-back: every freshly settled cell (UNKNOWN too —
+                    # re-deriving an UNKNOWN is as expensive as any other
+                    # verdict) becomes servable to other sessions.
+                    self._store.record(
+                        self._queries[pair[0]],
+                        self._queries[pair[1]],
+                        self._domain,
+                        result,
+                        engine=self._engine_mode,
+                        context=self._context,
+                    )
         return {pair: self._results[pair] for pair in sorted(pairs)}
 
     def explain(self, first: str, second: str) -> CellExplanation:
@@ -532,10 +596,15 @@ class Workspace:
         return {pair: dict(record) for pair, record in self._provenance.items()}
 
     def _cache_verdict(self, pair: tuple[str, str], result: EquivalenceResult) -> None:
-        if len(self._verdict_cache) >= _VERDICT_CACHE_LIMIT:
-            for stale in list(self._verdict_cache)[: _VERDICT_CACHE_LIMIT // 4]:
-                del self._verdict_cache[stale]
-        self._verdict_cache[(self._queries[pair[0]], self._queries[pair[1]])] = result
+        key = (self._queries[pair[0]], self._queries[pair[1]])
+        if key not in self._verdict_cache and len(self._verdict_cache) >= _VERDICT_CACHE_LIMIT:
+            # Evict the least-recently-*used* quarter: lookups refresh
+            # recency (move_to_end), so a pair that keeps getting served
+            # stays resident no matter how early it was inserted.
+            for _ in range(_VERDICT_CACHE_LIMIT // 4):
+                self._verdict_cache.popitem(last=False)
+        self._verdict_cache[key] = result
+        self._verdict_cache.move_to_end(key)
 
     def _current_context(self) -> Optional[SharedBaseContext]:
         """The session's shared BASE recipe, grown monotonically.

@@ -519,6 +519,11 @@ def equivalence_matrix(
         shared_base=shared_base,
         sweep=sweep,
         engine=engine,
+        # One-shot matrices stay self-contained: no verdict-store tier, so
+        # this entry point's results never depend on process-wide state
+        # (REPRO_STORE_PATH included).  Sessions wanting the store use
+        # Workspace directly.
+        store=False,
     ) as workspace:
         for name, query in queries.items():
             workspace.add(query, name=name)

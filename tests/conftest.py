@@ -7,7 +7,29 @@ import random
 import pytest
 
 from repro import Domain, parse_database, parse_query
+from repro.store import reset_shared_store
 from repro.workloads import QueryGenerator, QueryProfile, build_warehouse
+
+
+@pytest.fixture(autouse=True)
+def _isolated_verdict_store(monkeypatch, tmp_path):
+    """Keep the process-wide verdict store from leaking across tests.
+
+    The store is deliberately process-global (tenants share it), which is
+    exactly wrong for test isolation: a verdict settled by one test would
+    serve a later test's pair and silently change its decided-cell counts.
+    Each test starts with a dropped singleton, and an inherited
+    ``REPRO_STORE_PATH`` (e.g. the CI persistence leg) is redirected to a
+    per-test file so cross-test sharing goes through explicit fixtures
+    only.  Store tests that need a shared path set their own.
+    """
+    import os
+
+    if os.environ.get("REPRO_STORE_PATH"):
+        monkeypatch.setenv("REPRO_STORE_PATH", str(tmp_path / "verdicts.sqlite3"))
+    reset_shared_store()
+    yield
+    reset_shared_store()
 
 
 @pytest.fixture

@@ -107,6 +107,40 @@ class TestCacheDiscipline:
         assert locations(findings) == [("mod.py", 1, "cache-discipline")]
         assert "stale registration" in findings[0].message
 
+    def test_store_layer_cache_idioms_are_clean(self):
+        """The two idioms the verdict store introduced: an ``OrderedDict``
+        LRU memo registered with its own ``.clear``, and a dict-shaped
+        singleton slot whose clearer is a module function that also closes
+        the held resource.  Both register under ``clear_service_caches``."""
+        canon = (
+            "_CANON_LRU = OrderedDict()\n"
+            'register_cache("canon.py:_CANON_LRU", "clear_service_caches", _CANON_LRU.clear)\n'
+        )
+        disk = (
+            "_SHARED_STORE = {}\n"
+            "def reset_shared_store():\n"
+            '    store = _SHARED_STORE.pop("store", None)\n'
+            "    if store is not None:\n"
+            "        store.close()\n"
+            'register_cache("disk.py:_SHARED_STORE", "clear_service_caches", reset_shared_store)\n'
+        )
+        assert findings_for({"canon.py": canon, "disk.py": disk}, self.checker) == []
+
+    def test_unregistered_store_layer_lru_is_flagged(self):
+        findings = findings_for({"canon.py": "_CANON_LRU = OrderedDict()\n"}, self.checker)
+        assert locations(findings) == [("canon.py", 1, "cache-discipline")]
+        assert "_CANON_LRU" in findings[0].message
+
+    def test_singleton_slot_registered_under_wrong_module_is_flagged(self):
+        sources = {
+            "disk.py": "_SHARED_STORE = {}\n",
+            "other.py": (
+                'register_cache("disk.py:_SHARED_STORE", "clear_service_caches", None)\n'
+            ),
+        }
+        findings = findings_for(sources, self.checker)
+        assert ("other.py", 1, "cache-discipline") in locations(findings)
+
     def test_registration_must_sit_in_the_defining_module(self):
         sources = {
             "a.py": "_CACHE = {}\n",

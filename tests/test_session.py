@@ -196,6 +196,40 @@ class TestDeltaDifferential:
             assert results[("a2", "b2")].verdict is results[("a", "b")].verdict
             assert results[("a2", "b2")].method == results[("a", "b")].method
 
+    def test_verdict_cache_eviction_is_lru_not_insertion_order(self, monkeypatch):
+        """Overflow must evict the least-recently-*used* entries: a pair the
+        session keeps serving survives eviction no matter how early it was
+        inserted (before the fix, the oldest-*inserted* quarter was dropped,
+        so the hottest entries were exactly the ones lost)."""
+        from repro.core.equivalence import EquivalenceResult
+        from repro.domains import Domain
+        from repro.session import workspace as workspace_module
+
+        monkeypatch.setattr(workspace_module, "_VERDICT_CACHE_LIMIT", 4)
+        with Workspace(workers=1, store=False) as ws:
+            for index in range(5):
+                ws.add(f"q(x) :- r{index}(x)", name=f"q{index}")
+            fabricated = EquivalenceResult(Verdict.UNKNOWN, "fabricated", Domain.RATIONALS)
+            filled = [("q0", "q1"), ("q0", "q2"), ("q0", "q3"), ("q1", "q2")]
+            for pair in filled:
+                ws._cache_verdict(pair, fabricated)
+            # Settle every cell except (q0, q1), then ask for the matrix:
+            # the one remaining cell is served from the structural cache —
+            # a *hit*, which must refresh the entry's recency.
+            names = sorted(ws.queries)
+            for position, name_a in enumerate(names):
+                for name_b in names[position + 1 :]:
+                    if (name_a, name_b) != ("q0", "q1"):
+                        ws._results[(name_a, name_b)] = fabricated
+            ws.equivalences()
+            assert ws.stats().verdict_cache_hits == 1
+            # The next insertion overflows the (limit 4) cache.  LRU order
+            # after the hit is (q0,q2), (q0,q3), (q1,q2), (q0,q1): the
+            # refreshed oldest-inserted entry survives and (q0, q2) goes.
+            ws._cache_verdict(("q1", "q3"), fabricated)
+            assert (ws["q0"], ws["q1"]) in ws._verdict_cache
+            assert (ws["q0"], ws["q2"]) not in ws._verdict_cache
+
 
 class TestSessionRewriting:
     def test_report_matches_one_shot_rewrite(self):
